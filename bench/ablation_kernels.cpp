@@ -1,0 +1,114 @@
+// Ablation microbenchmarks (google-benchmark) for the kernel-level
+// design choices DESIGN.md calls out: diagonal specialization vs the
+// generic pair kernel, control folding vs masked traversal, the NOT
+// fast path, diagonal-run fusion, and the permutation kernel.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "circuit/builders.hpp"
+#include "common/rng.hpp"
+#include "sim/kernels.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace qc;
+using sim::kernels::U2;
+
+sim::StateVector make_state(qubit_t n) {
+  sim::StateVector sv(n);
+  Rng rng(n);
+  sv.randomize(rng);
+  return sv;
+}
+
+constexpr qubit_t kN = 22;
+
+void BM_DiagonalSpecialized_CR(benchmark::State& state) {
+  auto sv = make_state(kN);
+  const complex_t d1 = std::polar(1.0, 0.3);
+  for (auto _ : state)
+    sim::kernels::apply_diagonal(sv.amplitudes(), kN, 5, complex_t{1.0}, d1, index_t{1} << 9);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim(kN) / 4 * sizeof(complex_t) * 2));
+}
+BENCHMARK(BM_DiagonalSpecialized_CR);
+
+void BM_DiagonalViaGenericKernel_CR(benchmark::State& state) {
+  auto sv = make_state(kN);
+  const U2 u{1.0, 0.0, 0.0, std::polar(1.0, 0.3)};
+  for (auto _ : state)
+    sim::kernels::apply_generic_masked(sv.amplitudes(), kN, 5, index_t{1} << 9, u, true);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim(kN) * sizeof(complex_t) * 2));
+}
+BENCHMARK(BM_DiagonalViaGenericKernel_CR);
+
+void BM_ControlFolded_CH(benchmark::State& state) {
+  auto sv = make_state(kN);
+  const double s = 1.0 / std::numbers::sqrt2;
+  const U2 h{s, s, s, -s};
+  for (auto _ : state)
+    sim::kernels::apply_folded(sv.amplitudes(), kN, 3, index_t{1} << 11, h);
+}
+BENCHMARK(BM_ControlFolded_CH);
+
+void BM_ControlMasked_CH(benchmark::State& state) {
+  auto sv = make_state(kN);
+  const double s = 1.0 / std::numbers::sqrt2;
+  const U2 h{s, s, s, -s};
+  for (auto _ : state)
+    sim::kernels::apply_generic_masked(sv.amplitudes(), kN, 3, index_t{1} << 11, h, true);
+}
+BENCHMARK(BM_ControlMasked_CH);
+
+void BM_XFastPath(benchmark::State& state) {
+  auto sv = make_state(kN);
+  for (auto _ : state) sim::kernels::apply_x(sv.amplitudes(), kN, 7, 0);
+}
+BENCHMARK(BM_XFastPath);
+
+void BM_XViaGenericKernel(benchmark::State& state) {
+  auto sv = make_state(kN);
+  const U2 x{0.0, 1.0, 1.0, 0.0};
+  for (auto _ : state) sim::kernels::apply_generic_masked(sv.amplitudes(), kN, 7, 0, x, true);
+}
+BENCHMARK(BM_XViaGenericKernel);
+
+void BM_QftUnfused(benchmark::State& state) {
+  const qubit_t n = static_cast<qubit_t>(state.range(0));
+  auto sv = make_state(n);
+  const circuit::Circuit c = circuit::qft(n);
+  const sim::HpcSimulator simulator;
+  for (auto _ : state) simulator.run(sv, c);
+}
+BENCHMARK(BM_QftUnfused)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_QftFusedDiagonals(benchmark::State& state) {
+  const qubit_t n = static_cast<qubit_t>(state.range(0));
+  auto sv = make_state(n);
+  const circuit::Circuit c = circuit::qft(n);
+  sim::HpcSimulator::Options opts;
+  opts.fuse_diagonal_runs = true;
+  const sim::HpcSimulator simulator(opts);
+  for (auto _ : state) simulator.run(sv, c);
+}
+BENCHMARK(BM_QftFusedDiagonals)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_PermutationKernel(benchmark::State& state) {
+  const qubit_t n = static_cast<qubit_t>(state.range(0));
+  auto sv = make_state(n);
+  aligned_vector<complex_t> scratch(dim(n));
+  const index_t mask = bits::low_mask(n);
+  for (auto _ : state)
+    sim::kernels::apply_permutation(sv.amplitudes(), {scratch.data(), scratch.size()},
+                                    [mask](index_t i) { return (i * 5 + 3) & mask; });
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim(n) * sizeof(complex_t) * 3));
+}
+BENCHMARK(BM_PermutationKernel)->Arg(20)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

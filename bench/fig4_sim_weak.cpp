@@ -1,0 +1,95 @@
+// Figure 4: our simulator vs qHiPSTER on the distributed QFT (weak
+// scaling). The structural difference reproduced here: our simulator
+// applies diagonal gates (the QFT's conditional phase shifts) on global
+// qubits without any communication, while the unspecialized simulator
+// performs the pairwise chunk exchange for every global-target gate —
+// so our advantage grows with the number of distributed qubits.
+//
+// Usage: fig4_sim_weak [--local-qubits L] [--max-ranks P] [--full]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/builders.hpp"
+#include "sim/dist_sv.hpp"
+
+namespace {
+
+using namespace qc;
+
+struct Row {
+  qubit_t n;
+  int ranks;
+  double t_ours;
+  double t_qhip;
+  std::uint64_t bytes_ours;
+  std::uint64_t bytes_qhip;
+};
+
+Row run_point(qubit_t local_qubits, int ranks) {
+  const qubit_t n = local_qubits + bits::log2_floor(static_cast<index_t>(ranks));
+  Row row{n, ranks, 0, 0, 0, 0};
+  cluster::Cluster cluster(ranks);
+  const circuit::Circuit qft_circuit = circuit::qft(n);
+  cluster.run([&](cluster::Comm& comm) {
+    sim::DistStateVector ours(comm, n);
+    ours.randomize(n);
+    ours.run(qft_circuit, sim::CommPolicy::Specialized);  // warm-up
+    ours.randomize(n);
+    comm.barrier();
+    WallTimer t;
+    ours.run(qft_circuit, sim::CommPolicy::Specialized);
+    const double t_ours = comm.allreduce_max(t.seconds());
+
+    sim::DistStateVector qhip(comm, n);
+    qhip.randomize(n);
+    comm.barrier();
+    t.reset();
+    qhip.run(qft_circuit, sim::CommPolicy::Exchange);
+    const double t_qhip = comm.allreduce_max(t.seconds());
+
+    // Sanity: identical states.
+    const double diff = ours.max_abs_diff(qhip);
+    if (comm.rank() == 0) {
+      if (diff > 1e-10) std::fprintf(stderr, "WARNING: policies disagree (%g)\n", diff);
+      row.t_ours = t_ours;
+      row.t_qhip = t_qhip;
+      row.bytes_ours = ours.bytes_communicated();
+      row.bytes_qhip = qhip.bytes_communicated();
+    }
+  });
+  return row;
+}
+
+/// Fig. 4's speedup, eyeballed: ~1x single node growing toward ~2x at
+/// 256 nodes.
+double paper_speedup(int ranks) { return ranks == 1 ? 1.0 : (ranks >= 8 ? 1.5 : 1.2); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool full = cli.has("full");
+  const long local_qubits = cli.get_int("local-qubits", full ? 22 : 20);
+  const long max_ranks = cli.get_int("max-ranks", full ? 16 : 8);
+
+  bench::print_header("fig4_sim_weak",
+                      "Fig. 4 — our simulator vs qHiPSTER-like, distributed QFT");
+  std::printf("advantage mechanism: diagonal gates on distributed qubits move zero\n"
+              "bytes under our policy, a full chunk exchange under the generic one\n\n");
+
+  Table table({"qubits", "ranks", "T_ours [s]", "T_qhip [s]", "speedup", "MB_ours",
+               "MB_qhip", "paper~"});
+  for (int p = 1; p <= max_ranks; p *= 2) {
+    const Row r = run_point(static_cast<qubit_t>(local_qubits), p);
+    table.add_row({std::to_string(r.n), std::to_string(r.ranks), sci(r.t_ours),
+                   sci(r.t_qhip), fixed(r.t_qhip / r.t_ours, 2) + "x",
+                   fixed(static_cast<double>(r.bytes_ours) / 1e6, 1),
+                   fixed(static_cast<double>(r.bytes_qhip) / 1e6, 1),
+                   fixed(paper_speedup(p), 1) + "x"});
+  }
+  table.print("weak scaling, rank-0 communication volume in MB");
+  std::printf("\npaper: the advantage grows with required communication, from ~1x\n"
+              "on a single node to ~2x at 256 nodes (Fig. 4). Single-node rows\n"
+              "differ only by local kernel specialization.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Arithmetic on superpositions: the paper's §3.1 worked example.
+//
+// Prepares a superposition of all inputs (a, b), then computes
+// c = a * b two ways:
+//   * simulation: the shift-and-add Cuccaro network, gate by gate
+//     (including the carry work qubit);
+//   * emulation: one amplitude permutation.
+// Prints both timings and verifies the states agree — then does the
+// same for a transcendental function (sin), which has no practical
+// reversible circuit at all.
+//
+// Run: ./arithmetic_demo [--m 6]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "circuit/builders.hpp"
+#include "emu/emulator.hpp"
+#include "revcirc/arith.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  const Cli cli(argc, argv);
+  const qubit_t m = static_cast<qubit_t>(cli.get_int("m", 6));
+
+  std::printf("multiplying two %u-bit registers on a superposition of all %llu\n"
+              "input pairs\n\n",
+              m, static_cast<unsigned long long>(dim(2 * m)));
+
+  // Shared preparation: superpose a and b; c and the work qubit are |0>.
+  const qubit_t total = 3 * m + 1;
+  circuit::Circuit prep(total);
+  for (qubit_t q = 0; q < 2 * m; ++q) prep.h(q);
+  const sim::HpcSimulator simulator;
+
+  // --- simulation ------------------------------------------------------
+  sim::StateVector sim_sv(total);
+  simulator.run(sim_sv, prep);
+  const circuit::Circuit network = revcirc::multiplier_circuit(m);
+  WallTimer t;
+  simulator.run(sim_sv, network);
+  const double t_sim = t.seconds();
+  std::printf("simulation: %zu-gate reversible network on %u qubits: %.4f s\n",
+              network.size(), total, t_sim);
+
+  // --- emulation ---------------------------------------------------------
+  sim::StateVector emu_sv(total);
+  simulator.run(emu_sv, prep);
+  emu::Emulator emulator(emu_sv);
+  t.reset();
+  emulator.multiply({0, m}, {m, m}, {2 * m, m});
+  const double t_emu = t.seconds();
+  std::printf("emulation:  one permutation of the state vector:    %.4f s\n", t_emu);
+  std::printf("speedup: %.0fx    max |state difference|: %.2e\n\n", t_sim / t_emu,
+              sim_sv.max_abs_diff(emu_sv));
+
+  // --- a function with no practical reversible circuit -------------------
+  // out += round(sin(x) * scale): the paper's point about trigonometric
+  // functions — a reversible implementation needs a series expansion
+  // with m work qubits per intermediate; the emulator needs one pass.
+  sim::StateVector fsv(2 * m);
+  {
+    circuit::Circuit h(2 * m);
+    for (qubit_t q = 0; q < m; ++q) h.h(q);
+    simulator.run(fsv, h);
+  }
+  emu::Emulator femu(fsv);
+  const double scale = static_cast<double>(dim(m) - 1);
+  t.reset();
+  femu.apply_function({0, m}, {m, m}, [&](index_t x) {
+    const double s = std::sin(2.0 * std::numbers::pi * static_cast<double>(x) /
+                              static_cast<double>(dim(m)));
+    return static_cast<index_t>(std::llround((s + 1.0) * 0.5 * scale));
+  });
+  std::printf("emulated out += sin(x) lookup on all %llu basis states: %.4f s\n",
+              static_cast<unsigned long long>(dim(m)), t.seconds());
+  std::printf("(a gate-level implementation would need a reversible series\n"
+              "expansion with ~m work qubits per intermediate result — an\n"
+              "exponential simulation cost the emulator never pays)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Grover search with an emulated oracle.
+//
+// The oracle — "is x the marked item?" — is a classical predicate. A
+// gate-level simulator would compile it into a reversible network with
+// work qubits; the emulator applies the phase flip directly per basis
+// state (the §3.1 shortcut applied to a predicate instead of
+// arithmetic). The diffusion operator runs as ordinary gates.
+//
+// Run: ./grover [--qubits 12] [--marked 1234]
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "circuit/builders.hpp"
+#include "emu/emulator.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  const Cli cli(argc, argv);
+  const qubit_t n = static_cast<qubit_t>(cli.get_int("qubits", 12));
+  const index_t marked =
+      static_cast<index_t>(cli.get_int("marked", 1234)) % dim(n);
+
+  std::printf("Grover search over %llu items for marked item %llu\n",
+              static_cast<unsigned long long>(dim(n)),
+              static_cast<unsigned long long>(marked));
+
+  sim::StateVector sv(n);
+  const sim::HpcSimulator simulator;
+  {
+    circuit::Circuit h(n);
+    for (qubit_t q = 0; q < n; ++q) h.h(q);
+    simulator.run(sv, h);
+  }
+
+  // Diffusion operator: H^n X^n (C^{n-1}Z) X^n H^n.
+  circuit::Circuit diffusion(n);
+  for (qubit_t q = 0; q < n; ++q) diffusion.h(q);
+  for (qubit_t q = 0; q < n; ++q) diffusion.x(q);
+  {
+    circuit::Gate cz = circuit::make_gate(circuit::GateKind::Z, n - 1);
+    for (qubit_t q = 0; q + 1 < n; ++q) cz.controls.push_back(q);
+    diffusion.append(cz);
+  }
+  for (qubit_t q = 0; q < n; ++q) diffusion.x(q);
+  for (qubit_t q = 0; q < n; ++q) diffusion.h(q);
+
+  const int iterations = static_cast<int>(
+      std::round(std::numbers::pi / 4.0 * std::sqrt(static_cast<double>(dim(n)))));
+  std::printf("running %d Grover iterations (pi/4 sqrt(N))\n", iterations);
+
+  emu::Emulator emu(sv);
+  WallTimer timer;
+  for (int it = 0; it < iterations; ++it) {
+    // Emulated oracle (§3.1 applied to a predicate): one in-place phase
+    // sweep; a simulator would pay an X-conjugated multi-controlled-Z
+    // network with work qubits here.
+    emu.apply_phase_oracle([marked](index_t i) { return i == marked; });
+    simulator.run(sv, diffusion);
+  }
+  const double seconds = timer.seconds();
+
+  // Read out the answer from the exact distribution (§3.4 shortcut).
+  index_t best = 0;
+  double best_p = 0;
+  const auto dist = sv.register_distribution(0, n);
+  for (index_t i = 0; i < dist.size(); ++i)
+    if (dist[i] > best_p) {
+      best_p = dist[i];
+      best = i;
+    }
+  std::printf("most likely outcome: %llu with probability %.4f (in %.3f s)\n",
+              static_cast<unsigned long long>(best), best_p, seconds);
+  std::printf("%s\n", best == marked ? "FOUND the marked item" : "FAILED");
+  return best == marked ? 0 : 1;
+}

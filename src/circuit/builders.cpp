@@ -1,0 +1,108 @@
+#include "circuit/builders.hpp"
+
+#include <numbers>
+
+namespace qc::circuit {
+
+Circuit qft(qubit_t n, bool with_swaps) {
+  Circuit c(n);
+  // Process qubits from most to least significant. After H on qubit k,
+  // conditionally rotate by pi/2^(k-j) for every lower qubit j. This
+  // realizes the DFT with the output bit-reversed; the optional swaps
+  // restore natural order (paper Eq. 4).
+  for (qubit_t k = n; k-- > 0;) {
+    c.h(k);
+    for (qubit_t j = k; j-- > 0;)
+      c.cr(j, k, std::numbers::pi / static_cast<double>(index_t{1} << (k - j)));
+  }
+  if (with_swaps)
+    for (qubit_t k = 0; k < n / 2; ++k) c.swap(k, n - 1 - k);
+  return c;
+}
+
+Circuit inverse_qft(qubit_t n, bool with_swaps) { return qft(n, with_swaps).inverse(); }
+
+Circuit entangle(qubit_t n) {
+  Circuit c(n);
+  c.h(0);
+  for (qubit_t q = 1; q < n; ++q) c.cnot(0, q);
+  return c;
+}
+
+Circuit tfim_trotter_step(qubit_t n, double dt, double coupling_j, double field_h) {
+  Circuit c(n);
+  for (qubit_t q = 0; q < n; ++q) c.rx(q, 2.0 * field_h * dt);
+  for (qubit_t q = 0; q + 1 < n; ++q) {
+    c.cnot(q, q + 1);
+    c.rz(q + 1, -2.0 * coupling_j * dt);
+    c.cnot(q, q + 1);
+  }
+  return c;
+}
+
+Circuit random_circuit(qubit_t n, std::size_t gate_count, Rng& rng) {
+  Circuit c(n);
+  auto pick_qubit = [&] { return static_cast<qubit_t>(rng.uniform_u64(n)); };
+  auto pick_distinct = [&](qubit_t a) {
+    qubit_t b = pick_qubit();
+    while (b == a) b = pick_qubit();
+    return b;
+  };
+  // Gate menu shrinks with register width: 2-qubit gates need n >= 2,
+  // Toffoli needs n >= 3.
+  const std::uint64_t choices = n >= 3 ? 12 : (n == 2 ? 10 : 8);
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    const auto choice = rng.uniform_u64(choices);
+    const qubit_t q = pick_qubit();
+    switch (choice) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.y(q); break;
+      case 3: c.z(q); break;
+      case 4: c.s(q); break;
+      case 5: c.t(q); break;
+      case 6: c.rz(q, rng.uniform(0, 2 * std::numbers::pi)); break;
+      case 7: c.rx(q, rng.uniform(0, 2 * std::numbers::pi)); break;
+      case 8: c.cnot(q, pick_distinct(q)); break;
+      case 9: c.cr(q, pick_distinct(q), rng.uniform(0, 2 * std::numbers::pi)); break;
+      case 10: {
+        const qubit_t a = pick_distinct(q);
+        qubit_t b = pick_distinct(q);
+        while (b == a) b = pick_distinct(q);
+        c.toffoli(q, a, b);
+        break;
+      }
+      case 11: c.swap(q, pick_distinct(q)); break;
+    }
+  }
+  return c;
+}
+
+Circuit random_classical_circuit(qubit_t n, std::size_t gate_count, Rng& rng) {
+  Circuit c(n);
+  auto pick_qubit = [&] { return static_cast<qubit_t>(rng.uniform_u64(n)); };
+  auto pick_distinct = [&](qubit_t a) {
+    qubit_t b = pick_qubit();
+    while (b == a) b = pick_qubit();
+    return b;
+  };
+  const std::uint64_t choices = n >= 3 ? 3 : (n == 2 ? 2 : 1);
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    const auto choice = rng.uniform_u64(choices);
+    const qubit_t q = pick_qubit();
+    switch (choice) {
+      case 0: c.x(q); break;
+      case 1: c.cnot(q, pick_distinct(q)); break;
+      case 2: {
+        const qubit_t a = pick_distinct(q);
+        qubit_t b = pick_distinct(q);
+        while (b == a) b = pick_distinct(q);
+        c.toffoli(q, a, b);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace qc::circuit

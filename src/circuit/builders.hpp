@@ -1,0 +1,38 @@
+// Standard circuit constructions used throughout the paper's evaluation.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qc::circuit {
+
+/// Quantum Fourier transform circuit on n qubits: the H + controlled
+/// phase-shift cascade (n Hadamards, n(n-1)/2 CR gates — the O(n^2)
+/// construction of §3.2). With `with_swaps` the final qubit-reversal
+/// swaps are appended so the circuit realizes the paper's Eq. (4)
+/// exactly (natural bit order); without them the output is bit-reversed.
+Circuit qft(qubit_t n, bool with_swaps = true);
+
+/// Inverse QFT (used by phase estimation and Shor).
+Circuit inverse_qft(qubit_t n, bool with_swaps = true);
+
+/// The §4.5 "entangling operation": H on qubit 0, then a CNOT on every
+/// other qubit conditioned on qubit 0 (prepares a GHZ state from |0..0>).
+Circuit entangle(qubit_t n);
+
+/// First-order Trotter step of the 1-D transverse-field Ising model
+///   H = -J sum Z_i Z_{i+1} - h sum X_i
+/// for time step dt: Rx(2 h dt) on every qubit, then exp(i J dt Z Z) on
+/// every bond as CNOT - Rz(-2 J dt) - CNOT. Gate count G = 4n - 3,
+/// matching the paper's Table 2 (G = 29, 33, ..., 53 for n = 8..14).
+Circuit tfim_trotter_step(qubit_t n, double dt, double coupling_j = 1.0, double field_h = 1.0);
+
+/// Uniformly random circuit from {H, X, Y, Z, S, T, Rz, Rx, CNOT, CR,
+/// Toffoli, SWAP} on distinct qubits — the property-test workload.
+Circuit random_circuit(qubit_t n, std::size_t gate_count, Rng& rng);
+
+/// Random circuit restricted to classical reversible gates
+/// (X / CNOT / Toffoli), exercising the BitVm-vs-state-vector tests.
+Circuit random_classical_circuit(qubit_t n, std::size_t gate_count, Rng& rng);
+
+}  // namespace qc::circuit

@@ -1,0 +1,97 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "linalg/gemm.hpp"
+
+namespace qc::circuit {
+
+Circuit& Circuit::append(Gate g) {
+  std::vector<qubit_t> all = g.targets;
+  all.insert(all.end(), g.controls.begin(), g.controls.end());
+  if (!bits::all_distinct_below(all, n_))
+    throw std::invalid_argument("Circuit::append: invalid qubits in " + g.to_string());
+  const std::size_t want_targets = g.kind == GateKind::Swap ? 2 : 1;
+  if (g.targets.size() != want_targets)
+    throw std::invalid_argument("Circuit::append: wrong target count in " + g.to_string());
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::compose(const Circuit& other) {
+  if (other.n_ != n_) throw std::invalid_argument("Circuit::compose: qubit count mismatch");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+  return *this;
+}
+
+Circuit& Circuit::compose_mapped(const Circuit& other, const std::vector<qubit_t>& mapping) {
+  if (mapping.size() != other.n_)
+    throw std::invalid_argument("compose_mapped: mapping size mismatch");
+  for (Gate g : other.gates_) {
+    for (auto& q : g.targets) q = mapping.at(q);
+    for (auto& q : g.controls) q = mapping.at(q);
+    append(std::move(g));
+  }
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(n_);
+  inv.gates_.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+    inv.gates_.push_back(it->inverse());
+  return inv;
+}
+
+Circuit Circuit::controlled(qubit_t control) const {
+  Circuit c(std::max<qubit_t>(n_, control + 1));
+  for (Gate g : gates_) {
+    if (std::find(g.targets.begin(), g.targets.end(), control) != g.targets.end() ||
+        std::find(g.controls.begin(), g.controls.end(), control) != g.controls.end())
+      throw std::invalid_argument("Circuit::controlled: control qubit already used");
+    g.controls.push_back(control);
+    c.append(std::move(g));
+  }
+  return c;
+}
+
+Circuit Circuit::widened(qubit_t n_new) const {
+  if (n_new < n_) throw std::invalid_argument("Circuit::widened: cannot shrink");
+  Circuit c(n_new);
+  for (const Gate& g : gates_) c.append(g);
+  return c;
+}
+
+std::map<std::string, std::size_t> Circuit::gate_histogram() const {
+  std::map<std::string, std::size_t> hist;
+  for (const Gate& g : gates_) {
+    std::string key = gate_name(g.kind);
+    if (!g.controls.empty()) key = "C" + std::to_string(g.controls.size()) + "-" + key;
+    ++hist[key];
+  }
+  return hist;
+}
+
+std::size_t Circuit::controlled_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return !g.controls.empty(); }));
+}
+
+linalg::Matrix Circuit::to_matrix_reference() const {
+  linalg::Matrix u = linalg::Matrix::identity(dim(n_));
+  for (const Gate& g : gates_) u = linalg::gemm(gate_operator(g, n_), u);
+  return u;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream out;
+  out << "circuit on " << n_ << " qubits, " << gates_.size() << " gates\n";
+  for (const Gate& g : gates_) out << "  " << g.to_string() << '\n';
+  return out.str();
+}
+
+}  // namespace qc::circuit

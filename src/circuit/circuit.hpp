@@ -1,0 +1,97 @@
+// Circuit intermediate representation.
+//
+// A Circuit is an ordered gate list over n qubits with fluent builder
+// methods. This is the "compiled to elementary gates" form a simulator
+// executes gate by gate; the emulator bypasses it for recognized
+// subroutines (that bypass is the paper's whole point, §3).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qc::circuit {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(qubit_t n_qubits) : n_(n_qubits) {}
+
+  [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] std::size_t size() const noexcept { return gates_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return gates_.empty(); }
+
+  /// Appends a validated gate (qubits distinct, below qubits()).
+  Circuit& append(Gate g);
+
+  // Fluent single-gate builders.
+  Circuit& x(qubit_t q) { return append(make_gate(GateKind::X, q)); }
+  Circuit& y(qubit_t q) { return append(make_gate(GateKind::Y, q)); }
+  Circuit& z(qubit_t q) { return append(make_gate(GateKind::Z, q)); }
+  Circuit& h(qubit_t q) { return append(make_gate(GateKind::H, q)); }
+  Circuit& s(qubit_t q) { return append(make_gate(GateKind::S, q)); }
+  Circuit& sdg(qubit_t q) { return append(make_gate(GateKind::Sdg, q)); }
+  Circuit& t(qubit_t q) { return append(make_gate(GateKind::T, q)); }
+  Circuit& tdg(qubit_t q) { return append(make_gate(GateKind::Tdg, q)); }
+  Circuit& rx(qubit_t q, double theta) { return append(make_gate(GateKind::Rx, q, theta)); }
+  Circuit& ry(qubit_t q, double theta) { return append(make_gate(GateKind::Ry, q, theta)); }
+  Circuit& rz(qubit_t q, double theta) { return append(make_gate(GateKind::Rz, q, theta)); }
+  Circuit& phase(qubit_t q, double theta) {
+    return append(make_gate(GateKind::Phase, q, theta));
+  }
+  Circuit& u2(qubit_t q, const std::array<complex_t, 4>& u) { return append(make_u2(q, u)); }
+  Circuit& cnot(qubit_t c, qubit_t t) { return append(make_controlled(GateKind::X, c, t)); }
+  Circuit& cz(qubit_t c, qubit_t t) { return append(make_controlled(GateKind::Z, c, t)); }
+  /// The paper's conditional phase shift CR(theta).
+  Circuit& cr(qubit_t c, qubit_t t, double theta) {
+    return append(make_controlled(GateKind::Phase, c, t, theta));
+  }
+  Circuit& crz(qubit_t c, qubit_t t, double theta) {
+    return append(make_controlled(GateKind::Rz, c, t, theta));
+  }
+  Circuit& swap(qubit_t a, qubit_t b) { return append(make_swap(a, b)); }
+  Circuit& toffoli(qubit_t c1, qubit_t c2, qubit_t t) {
+    return append(make_toffoli(c1, c2, t));
+  }
+
+  /// Appends all gates of `other` (same qubit count required).
+  Circuit& compose(const Circuit& other);
+
+  /// Appends `other` with its qubit q mapped to `mapping[q]`.
+  Circuit& compose_mapped(const Circuit& other, const std::vector<qubit_t>& mapping);
+
+  /// The inverse circuit (reversed order, inverted gates) — the
+  /// "uncompute" construction of Bennett [10] the paper discusses.
+  [[nodiscard]] Circuit inverse() const;
+
+  /// A copy with `control` added to every gate (the controlled-U needed
+  /// by phase estimation). `control` must not appear in any gate.
+  [[nodiscard]] Circuit controlled(qubit_t control) const;
+
+  /// A copy acting on a register widened to `n_new` qubits (labels kept).
+  [[nodiscard]] Circuit widened(qubit_t n_new) const;
+
+  /// Gate-count histogram by kind name (for reports and the G column of
+  /// the paper's Table 2).
+  [[nodiscard]] std::map<std::string, std::size_t> gate_histogram() const;
+
+  /// Number of gates with at least one control (CNOT, CR, Toffoli, ...).
+  [[nodiscard]] std::size_t controlled_count() const;
+
+  /// Dense 2^n x 2^n unitary via gate_operator products — O(G * 2^{3n})
+  /// Kronecker test oracle; use emu::build_unitary for the fast path.
+  [[nodiscard]] linalg::Matrix to_matrix_reference() const;
+
+  /// Multi-line disassembly.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  qubit_t n_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qc::circuit

@@ -1,0 +1,81 @@
+#include "circuit/decompose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qc::circuit {
+
+Circuit toffoli_network(qubit_t n, qubit_t c1, qubit_t c2, qubit_t t) {
+  Circuit c(n);
+  c.h(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(c2);
+  c.t(t);
+  c.h(t);
+  c.cnot(c1, c2);
+  c.t(c1);
+  c.tdg(c2);
+  c.cnot(c1, c2);
+  return c;
+}
+
+Circuit lower_multi_controls(const Circuit& c, std::size_t max_controls) {
+  if (max_controls < 2) throw std::invalid_argument("lower_multi_controls: need >= 2");
+  // Worst case ancilla need: controls-1 per gate; allocate for the max.
+  std::size_t worst = 0;
+  for (const Gate& g : c.gates())
+    if (g.controls.size() > max_controls) worst = std::max(worst, g.controls.size() - 1);
+  const qubit_t n_anc = static_cast<qubit_t>(worst);
+  Circuit out(c.qubits() + n_anc);
+  const qubit_t anc0 = c.qubits();
+
+  for (const Gate& g : c.gates()) {
+    if (g.controls.size() <= max_controls) {
+      out.append(g);
+      continue;
+    }
+    if (g.kind != GateKind::X)
+      throw std::invalid_argument("lower_multi_controls: only multi-controlled X supported");
+    // v-chain: and-accumulate controls pairwise into clean ancillas,
+    // apply the Toffoli, then uncompute the chain.
+    const auto& ctl = g.controls;
+    std::vector<Gate> compute;
+    compute.push_back(make_toffoli(ctl[0], ctl[1], anc0));
+    for (std::size_t i = 2; i + 1 < ctl.size(); ++i)
+      compute.push_back(
+          make_toffoli(ctl[i], anc0 + static_cast<qubit_t>(i) - 2, anc0 + static_cast<qubit_t>(i) - 1));
+    const qubit_t last_anc = anc0 + static_cast<qubit_t>(ctl.size()) - 3;
+    for (const Gate& gg : compute) out.append(gg);
+    out.append(make_toffoli(ctl.back(), last_anc, g.targets[0]));
+    for (auto it = compute.rbegin(); it != compute.rend(); ++it) out.append(*it);
+  }
+  return out;
+}
+
+Circuit lower_to_clifford_t(const Circuit& c) {
+  Circuit out(c.qubits());
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::X && g.controls.size() == 2) {
+      out.compose(toffoli_network(c.qubits(), g.controls[0], g.controls[1], g.targets[0]));
+      continue;
+    }
+    if (g.kind == GateKind::Swap && g.controls.empty()) {
+      out.cnot(g.targets[0], g.targets[1]);
+      out.cnot(g.targets[1], g.targets[0]);
+      out.cnot(g.targets[0], g.targets[1]);
+      continue;
+    }
+    if (g.controls.size() > 2)
+      throw std::invalid_argument("lower_to_clifford_t: run lower_multi_controls first");
+    out.append(g);
+  }
+  return out;
+}
+
+}  // namespace qc::circuit

@@ -1,0 +1,30 @@
+// Gate decomposition passes.
+//
+// The paper's simulation baseline executes classical functions as
+// networks of Toffoli/CNOT/NOT gates (§3, Bennett's construction). These
+// passes lower circuits further: multi-controlled X gates to plain
+// Toffolis (with clean ancillas), Toffolis to the standard 15-gate
+// {H, T, Tdg, CNOT} network, and SWAPs to CNOT triples — so a fully
+// "elementary gate" simulation can be benchmarked at any lowering level.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qc::circuit {
+
+/// The standard 15-gate Clifford+T realization of Toffoli(c1, c2, t)
+/// (Nielsen & Chuang Fig. 4.9) on an n-qubit register.
+Circuit toffoli_network(qubit_t n, qubit_t c1, qubit_t c2, qubit_t t);
+
+/// Rewrites every gate with >= `max_controls`+1 controls on X targets
+/// into Toffoli chains using clean ancillas (the v-chain construction).
+/// The result acts on a widened register; ancillas (qubits >= c.qubits())
+/// are returned to |0>. Only classical gates (X with controls, SWAP) plus
+/// arbitrary <=max_controls gates are supported as input.
+Circuit lower_multi_controls(const Circuit& c, std::size_t max_controls = 2);
+
+/// Rewrites Toffolis into the 15-gate network and SWAPs into three
+/// CNOTs; gates with more than two controls must be lowered first.
+Circuit lower_to_clifford_t(const Circuit& c);
+
+}  // namespace qc::circuit

@@ -1,0 +1,218 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace qc::circuit {
+
+namespace {
+constexpr double kSqrtHalf = 0.70710678118654752440;
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::X: return "X";
+    case GateKind::Y: return "Y";
+    case GateKind::Z: return "Z";
+    case GateKind::H: return "H";
+    case GateKind::S: return "S";
+    case GateKind::Sdg: return "Sdg";
+    case GateKind::T: return "T";
+    case GateKind::Tdg: return "Tdg";
+    case GateKind::Rx: return "Rx";
+    case GateKind::Ry: return "Ry";
+    case GateKind::Rz: return "Rz";
+    case GateKind::Phase: return "R";
+    case GateKind::U2: return "U2";
+    case GateKind::Swap: return "Swap";
+  }
+  return "?";
+}
+
+bool Gate::diagonal() const noexcept {
+  switch (kind) {
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::Rz:
+    case GateKind::Phase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Gate Gate::inverse() const {
+  Gate g = *this;
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::Swap:
+      return g;  // self-inverse
+    case GateKind::S:
+      g.kind = GateKind::Sdg;
+      return g;
+    case GateKind::Sdg:
+      g.kind = GateKind::S;
+      return g;
+    case GateKind::T:
+      g.kind = GateKind::Tdg;
+      return g;
+    case GateKind::Tdg:
+      g.kind = GateKind::T;
+      return g;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Phase:
+      g.angle = -angle;
+      return g;
+    case GateKind::U2:
+      // Conjugate transpose of the stored 2x2.
+      g.u2 = {std::conj(u2[0]), std::conj(u2[2]), std::conj(u2[1]), std::conj(u2[3])};
+      return g;
+  }
+  throw std::logic_error("Gate::inverse: unknown kind");
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream out;
+  out << gate_name(kind);
+  if (kind == GateKind::Rx || kind == GateKind::Ry || kind == GateKind::Rz ||
+      kind == GateKind::Phase)
+    out << "(" << angle << ")";
+  out << " [";
+  if (!controls.empty()) {
+    out << "c:";
+    for (std::size_t i = 0; i < controls.size(); ++i) out << (i ? "," : "") << controls[i];
+    out << " ";
+  }
+  out << "t:";
+  for (std::size_t i = 0; i < targets.size(); ++i) out << (i ? "," : "") << targets[i];
+  out << "]";
+  return out.str();
+}
+
+linalg::Matrix gate_block_matrix(const Gate& g) {
+  using M = linalg::Matrix;
+  switch (g.kind) {
+    case GateKind::X: return M{{0, 1}, {1, 0}};
+    case GateKind::Y: return M{{0, -kI}, {kI, 0}};
+    case GateKind::Z: return M{{1, 0}, {0, -1}};
+    case GateKind::H: return M{{kSqrtHalf, kSqrtHalf}, {kSqrtHalf, -kSqrtHalf}};
+    case GateKind::S: return M{{1, 0}, {0, kI}};
+    case GateKind::Sdg: return M{{1, 0}, {0, -kI}};
+    case GateKind::T: return M{{1, 0}, {0, std::polar(1.0, std::numbers::pi / 4)}};
+    case GateKind::Tdg: return M{{1, 0}, {0, std::polar(1.0, -std::numbers::pi / 4)}};
+    case GateKind::Rx: {
+      const double c = std::cos(g.angle / 2), s = std::sin(g.angle / 2);
+      return M{{c, -kI * s}, {-kI * s, c}};
+    }
+    case GateKind::Ry: {
+      const double c = std::cos(g.angle / 2), s = std::sin(g.angle / 2);
+      return M{{c, -s}, {s, c}};
+    }
+    case GateKind::Rz:
+      return M{{std::polar(1.0, -g.angle / 2), 0}, {0, std::polar(1.0, g.angle / 2)}};
+    case GateKind::Phase:
+      return M{{1, 0}, {0, std::polar(1.0, g.angle)}};
+    case GateKind::U2:
+      return M{{g.u2[0], g.u2[1]}, {g.u2[2], g.u2[3]}};
+    case GateKind::Swap:
+      return M{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+  }
+  throw std::logic_error("gate_block_matrix: unknown kind");
+}
+
+linalg::Matrix gate_operator(const Gate& g, qubit_t n) {
+  std::vector<qubit_t> all = g.targets;
+  all.insert(all.end(), g.controls.begin(), g.controls.end());
+  if (!bits::all_distinct_below(all, n))
+    throw std::invalid_argument("gate_operator: bad qubit labels");
+
+  const index_t size = dim(n);
+  const linalg::Matrix block = gate_block_matrix(g);
+  index_t cmask = 0;
+  for (qubit_t c : g.controls) cmask = bits::set(cmask, c);
+
+  linalg::Matrix full(size, size);
+  for (index_t col = 0; col < size; ++col) {
+    if ((col & cmask) != cmask) {
+      full(col, col) = 1.0;  // controls not all set: identity action
+      continue;
+    }
+    // Column `col` of the operator: distribute the block column selected
+    // by the target bits of `col` over all rows that differ only in the
+    // target bits.
+    if (g.kind == GateKind::Swap) {
+      const qubit_t a = g.targets[0], b = g.targets[1];
+      const index_t bcol = (bits::get(col, a) << 0) | (bits::get(col, b) << 1);
+      for (index_t brow = 0; brow < 4; ++brow) {
+        const complex_t v = block(brow, bcol);
+        if (v == complex_t{}) continue;
+        index_t row = col;
+        row = bits::test(brow, 0) ? bits::set(row, a) : bits::clear(row, a);
+        row = bits::test(brow, 1) ? bits::set(row, b) : bits::clear(row, b);
+        full(row, col) = v;
+      }
+    } else {
+      const qubit_t t = g.targets[0];
+      const index_t bcol = bits::get(col, t);
+      for (index_t brow = 0; brow < 2; ++brow) {
+        const complex_t v = block(brow, bcol);
+        if (v == complex_t{}) continue;
+        const index_t row = brow ? bits::set(col, t) : bits::clear(col, t);
+        full(row, col) = v;
+      }
+    }
+  }
+  return full;
+}
+
+Gate make_gate(GateKind kind, qubit_t target) {
+  Gate g;
+  g.kind = kind;
+  g.targets = {target};
+  return g;
+}
+
+Gate make_gate(GateKind kind, qubit_t target, double angle) {
+  Gate g = make_gate(kind, target);
+  g.angle = angle;
+  return g;
+}
+
+Gate make_controlled(GateKind kind, qubit_t control, qubit_t target, double angle) {
+  Gate g = make_gate(kind, target, angle);
+  g.controls = {control};
+  return g;
+}
+
+Gate make_u2(qubit_t target, const std::array<complex_t, 4>& u) {
+  Gate g = make_gate(GateKind::U2, target);
+  g.u2 = u;
+  return g;
+}
+
+Gate make_swap(qubit_t a, qubit_t b) {
+  Gate g;
+  g.kind = GateKind::Swap;
+  g.targets = {a, b};
+  return g;
+}
+
+Gate make_toffoli(qubit_t c1, qubit_t c2, qubit_t target) {
+  Gate g = make_gate(GateKind::X, target);
+  g.controls = {c1, c2};
+  return g;
+}
+
+}  // namespace qc::circuit

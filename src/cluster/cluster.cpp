@@ -1,0 +1,151 @@
+#include "cluster/cluster.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/parallel.hpp"
+
+namespace qc::cluster {
+
+namespace detail {
+
+void SharedState::abort_all() {
+  aborted.store(true, std::memory_order_seq_cst);
+  for (auto& b : boxes) {
+    std::lock_guard lock(b.mutex);
+    b.cv.notify_all();
+  }
+  {
+    std::lock_guard lock(barrier.mutex);
+    barrier.cv.notify_all();
+  }
+}
+
+}  // namespace detail
+
+void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
+  if (dst < 0 || dst >= size()) throw std::invalid_argument("send: bad destination rank");
+  if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+  detail::Mailbox& box = state_->box(rank_, dst);
+  detail::Message msg;
+  msg.tag = tag;
+  msg.data.assign(data.begin(), data.end());
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void Comm::recv_bytes(int src, std::span<std::byte> data, int tag) {
+  if (src < 0 || src >= size()) throw std::invalid_argument("recv: bad source rank");
+  detail::Mailbox& box = state_->box(src, rank_);
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+    // First message with a matching tag; same-tag messages stay ordered.
+    const auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                                 [tag](const detail::Message& m) { return m.tag == tag; });
+    if (it != box.queue.end()) {
+      if (it->data.size() != data.size())
+        throw std::runtime_error("recv: payload size mismatch");
+      std::copy(it->data.begin(), it->data.end(), data.begin());
+      box.queue.erase(it);
+      return;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::barrier() {
+  detail::Barrier& b = state_->barrier;
+  std::unique_lock lock(b.mutex);
+  if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+  const std::uint64_t gen = b.generation;
+  if (++b.waiting == state_->size) {
+    b.waiting = 0;
+    ++b.generation;
+    b.cv.notify_all();
+    return;
+  }
+  b.cv.wait(lock, [&] {
+    return b.generation != gen || state_->aborted.load(std::memory_order_relaxed);
+  });
+  if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+}
+
+void Comm::comm_alltoall_counts(std::span<const std::size_t> send,
+                                std::span<std::size_t> recv) {
+  const int p = size();
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) {
+      recv[static_cast<std::size_t>(r)] = send[static_cast<std::size_t>(r)];
+    } else {
+      send_bytes(r, std::as_bytes(send.subspan(static_cast<std::size_t>(r), 1)),
+                 kCollectiveTag - 1);
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    recv_bytes(r,
+               std::as_writable_bytes(recv.subspan(static_cast<std::size_t>(r), 1)),
+               kCollectiveTag - 1);
+  }
+}
+
+double Comm::allreduce_max(double local) {
+  std::vector<double> all(static_cast<std::size_t>(size()));
+  allgather<double>(std::span<const double>(&local, 1), std::span<double>(all));
+  return *std::max_element(all.begin(), all.end());
+}
+
+Cluster::Cluster(int ranks, int omp_threads_per_rank) : ranks_(ranks) {
+  if (ranks < 1) throw std::invalid_argument("Cluster: need at least one rank");
+  if (omp_threads_per_rank <= 0) {
+    omp_threads_per_rank_ = std::max(1, max_threads() / ranks);
+  } else {
+    omp_threads_per_rank_ = omp_threads_per_rank;
+  }
+}
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  detail::SharedState state(ranks_);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      // Each rank gets its own OpenMP thread budget so nested parallel
+      // kernels divide rather than oversubscribe the machine.
+      omp_set_num_threads(omp_threads_per_rank_);
+      Comm comm(r, &state);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        state.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& e : errors) {
+    if (e == nullptr) continue;
+    // Prefer reporting a root-cause error over a secondary ClusterAborted.
+    try {
+      std::rethrow_exception(e);
+    } catch (const ClusterAborted&) {
+      continue;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  for (const auto& e : errors)
+    if (e != nullptr) std::rethrow_exception(e);
+}
+
+}  // namespace qc::cluster

@@ -1,0 +1,268 @@
+// In-process message-passing runtime (the distributed-memory substrate).
+//
+// The paper runs its distributed experiments with MPI on the Stampede
+// supercomputer. This machine has neither MPI nor an interconnect, so the
+// library ships its own rank-based SPMD runtime: a Cluster spawns R rank
+// threads, each owning a private memory partition, that communicate
+// exclusively through Comm — point-to-point eager sends with tag
+// matching, plus the collectives the distributed state vector and
+// distributed FFT need (barrier, broadcast, allgather, alltoall,
+// allreduce). The API deliberately mirrors MPI naming (per the LLNL MPI
+// guide) so the algorithms read like their MPI originals and could be
+// ported back to real MPI by swapping this header.
+//
+// Semantics:
+//  * send() is buffered (eager): it copies the payload and returns; no
+//    rendezvous, so symmetric exchange patterns cannot deadlock.
+//  * recv() blocks until a message from `src` with a matching tag
+//    arrives; messages between a fixed (src, dst) pair are delivered in
+//    send order (MPI's non-overtaking rule).
+//  * If any rank throws, the cluster aborts: every blocked call wakes and
+//    throws ClusterAborted, and Cluster::run rethrows the original error.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace qc::cluster {
+
+/// Thrown in blocked ranks when a peer rank failed.
+struct ClusterAborted : std::runtime_error {
+  ClusterAborted() : std::runtime_error("cluster aborted by peer failure") {}
+};
+
+namespace detail {
+
+struct Message {
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct Barrier {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int waiting = 0;
+  std::uint64_t generation = 0;
+};
+
+struct SharedState {
+  explicit SharedState(int size)
+      : size(size), boxes(static_cast<std::size_t>(size) * size) {}
+
+  int size;
+  std::vector<Mailbox> boxes;  // index: src * size + dst
+  Barrier barrier;
+  std::atomic<bool> aborted{false};
+
+  Mailbox& box(int src, int dst) {
+    return boxes[static_cast<std::size_t>(src) * size + dst];
+  }
+
+  void abort_all();
+};
+
+}  // namespace detail
+
+/// Per-rank communicator handle. Valid only inside Cluster::run.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return state_->size; }
+
+  /// Eager (buffered) send of raw bytes.
+  void send_bytes(int dst, std::span<const std::byte> data, int tag = 0);
+
+  /// Blocking receive; the payload must be exactly data.size() bytes.
+  void recv_bytes(int src, std::span<std::byte> data, int tag = 0);
+
+  template <typename T>
+  void send(int dst, std::span<const T> data, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, std::as_bytes(data), tag);
+  }
+
+  template <typename T>
+  void recv(int src, std::span<T> data, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(src, std::as_writable_bytes(data), tag);
+  }
+
+  /// Symmetric exchange with `peer` (send our buffer, receive theirs).
+  /// Safe under eager sends regardless of ordering.
+  template <typename T>
+  void sendrecv(int peer, std::span<const T> out, std::span<T> in, int tag = 0) {
+    send(peer, out, tag);
+    recv(peer, in, tag);
+  }
+
+  /// All ranks block until every rank has arrived.
+  void barrier();
+
+  /// Root's buffer is copied to all ranks.
+  template <typename T>
+  void broadcast(int root, std::span<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != root) send<T>(r, data, kCollectiveTag);
+    } else {
+      recv<T>(root, data, kCollectiveTag);
+    }
+  }
+
+  /// Each rank contributes `block` elements; every rank receives all
+  /// blocks concatenated in rank order (size() * block elements).
+  template <typename T>
+  void allgather(std::span<const T> local, std::span<T> all) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t block = local.size();
+    if (all.size() != block * static_cast<std::size_t>(size()))
+      throw std::invalid_argument("allgather: output size mismatch");
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_) send<T>(r, local, kCollectiveTag);
+    std::memcpy(all.data() + static_cast<std::size_t>(rank_) * block, local.data(),
+                block * sizeof(T));
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_) recv<T>(r, all.subspan(static_cast<std::size_t>(r) * block, block),
+                              kCollectiveTag);
+  }
+
+  /// Block-transpose exchange: block j of `out` goes to rank j; block r
+  /// of `in` comes from rank r. All blocks have out.size()/size()
+  /// elements. This is the communication primitive of the distributed
+  /// FFT's three transposition steps (paper Eq. 5 charges 3 all-to-alls).
+  template <typename T>
+  void alltoall(std::span<const T> out, std::span<T> in) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    if (out.size() != in.size() || out.size() % static_cast<std::size_t>(p) != 0)
+      throw std::invalid_argument("alltoall: sizes must match and divide rank count");
+    const std::size_t block = out.size() / p;
+    for (int r = 0; r < p; ++r)
+      if (r != rank_) send<T>(r, out.subspan(static_cast<std::size_t>(r) * block, block),
+                              kCollectiveTag);
+    // The explicit bound check keeps GCC's -Wstringop-overflow inliner
+    // analysis from inventing a huge copy size on impossible paths.
+    if (block > 0 && block <= out.size()) {
+      std::memcpy(in.data() + static_cast<std::size_t>(rank_) * block,
+                  out.data() + static_cast<std::size_t>(rank_) * block, block * sizeof(T));
+    }
+    for (int r = 0; r < p; ++r)
+      if (r != rank_) recv<T>(r, in.subspan(static_cast<std::size_t>(r) * block, block),
+                              kCollectiveTag);
+  }
+
+  /// Variable-size all-to-all: rank r's `sendbuf` holds size() blocks
+  /// back to back, block j of send_counts[j] elements destined for rank
+  /// j. Returns the concatenation of the blocks received (in rank
+  /// order) and writes their sizes to `recv_counts`. This is the
+  /// exchange primitive of distributed classical-function emulation,
+  /// where each rank's amplitudes scatter to arbitrary destination
+  /// ranks (paper §4.2: "one global permutation of the (distributed)
+  /// state vector").
+  template <typename T>
+  std::vector<T> alltoallv(std::span<const T> sendbuf,
+                           std::span<const std::size_t> send_counts,
+                           std::vector<std::size_t>& recv_counts) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    if (send_counts.size() != static_cast<std::size_t>(p))
+      throw std::invalid_argument("alltoallv: need one count per rank");
+    std::size_t total = 0;
+    for (const std::size_t c : send_counts) total += c;
+    if (sendbuf.size() != total)
+      throw std::invalid_argument("alltoallv: counts do not match buffer size");
+
+    // Exchange counts with a fixed-size alltoall, then the payloads.
+    recv_counts.assign(static_cast<std::size_t>(p), 0);
+    comm_alltoall_counts(send_counts, recv_counts);
+    std::size_t offset = 0;
+    for (int r = 0; r < p; ++r) {
+      const std::size_t c = send_counts[static_cast<std::size_t>(r)];
+      if (r != rank_ && c > 0) send<T>(r, sendbuf.subspan(offset, c), kCollectiveTag);
+      offset += c;
+    }
+    std::size_t recv_total = 0;
+    for (const std::size_t c : recv_counts) recv_total += c;
+    std::vector<T> out(recv_total);
+    std::size_t in_offset = 0;
+    std::size_t self_offset = 0;
+    for (int r = 0; r < rank_; ++r) self_offset += send_counts[static_cast<std::size_t>(r)];
+    for (int r = 0; r < p; ++r) {
+      const std::size_t c = recv_counts[static_cast<std::size_t>(r)];
+      if (c > 0) {
+        if (r == rank_) {
+          std::memcpy(out.data() + in_offset, sendbuf.data() + self_offset, c * sizeof(T));
+        } else {
+          recv<T>(r, std::span<T>(out.data() + in_offset, c), kCollectiveTag);
+        }
+      }
+      in_offset += c;
+    }
+    return out;
+  }
+
+  /// Sum of `local` over all ranks, available on all ranks.
+  template <typename T>
+  T allreduce_sum(T local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> all(static_cast<std::size_t>(size()));
+    allgather<T>(std::span<const T>(&local, 1), std::span<T>(all));
+    T acc{};
+    for (const T& v : all) acc = acc + v;
+    return acc;
+  }
+
+  /// Maximum of `local` over all ranks.
+  double allreduce_max(double local);
+
+ private:
+  friend class Cluster;
+  Comm(int rank, detail::SharedState* state) : rank_(rank), state_(state) {}
+
+  /// Count exchange for alltoallv (non-template helper).
+  void comm_alltoall_counts(std::span<const std::size_t> send,
+                            std::span<std::size_t> recv);
+
+  static constexpr int kCollectiveTag = -7771;
+
+  int rank_;
+  detail::SharedState* state_;
+};
+
+/// Owns the rank threads and the shared mailbox state.
+class Cluster {
+ public:
+  /// `ranks` >= 1. `omp_threads_per_rank` <= 0 divides the machine's
+  /// OpenMP threads evenly among ranks (so nested kernels do not
+  /// oversubscribe); pass 1 for strictly serial ranks.
+  explicit Cluster(int ranks, int omp_threads_per_rank = 0);
+
+  /// Executes fn on every rank concurrently; returns when all complete.
+  /// Rethrows the first rank failure (after aborting the others).
+  void run(const std::function<void(Comm&)>& fn);
+
+  [[nodiscard]] int ranks() const noexcept { return ranks_; }
+
+ private:
+  int ranks_;
+  int omp_threads_per_rank_;
+};
+
+}  // namespace qc::cluster

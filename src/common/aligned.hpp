@@ -1,0 +1,50 @@
+// Cache-line / SIMD aligned storage for amplitude arrays.
+//
+// State vectors are the dominant allocation of the library (up to many
+// GiB); we allocate them 64-byte aligned so AVX loads never split cache
+// lines and so OpenMP threads partition on cache-line boundaries.
+#pragma once
+
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace qc {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal standard allocator returning 64-byte-aligned memory.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc{};
+    void* p = std::aligned_alloc(kAlignment, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+};
+
+/// Vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace qc

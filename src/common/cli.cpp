@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace qc {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself an option;
+    // otherwise a bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.contains(name); }
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  if (const auto it = options_.find(name); it != options_.end()) return it->second;
+  return std::nullopt;
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name, std::string fallback) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return fallback;
+  return *v;
+}
+
+}  // namespace qc

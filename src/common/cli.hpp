@@ -1,0 +1,42 @@
+// Minimal command-line option parser for the bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Every
+// bench accepts sizing options (e.g. --max-qubits, --full) so the paper's
+// sweeps can be reproduced at laptop scale by default and scaled up on
+// bigger machines.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name` or nullopt.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name, std::string fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qc

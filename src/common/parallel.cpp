@@ -1,0 +1,11 @@
+#include "common/parallel.hpp"
+
+#include <omp.h>
+
+namespace qc {
+
+int max_threads() noexcept { return omp_get_max_threads(); }
+
+int thread_id() noexcept { return omp_get_thread_num(); }
+
+}  // namespace qc

@@ -1,0 +1,29 @@
+// Thin OpenMP helpers.
+//
+// Kernels use plain `#pragma omp parallel for` directly (per the OpenMP
+// Examples guide); this header centralizes runtime queries and the one
+// pattern pragmas cannot express cleanly: conditional parallelism below a
+// grain-size threshold (parallelizing a 64-amplitude gate costs more in
+// fork/join than it saves).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace qc {
+
+/// Number of OpenMP threads a parallel region will use.
+int max_threads() noexcept;
+
+/// Current thread id inside a parallel region (0 outside).
+int thread_id() noexcept;
+
+/// True if `work_items` is large enough to amortize an OpenMP fork.
+/// 2^12 amplitudes (~64 KiB) is the measured break-even on this class of
+/// kernel; below it the serial path wins.
+constexpr bool worth_parallelizing(index_t work_items) noexcept {
+  return work_items >= (index_t{1} << 12);
+}
+
+}  // namespace qc

@@ -1,0 +1,85 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // All-zero state is the one invalid state; splitmix64 cannot produce
+  // four zeros from any seed, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of `bound` representable in 64 bits.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound + 1) % bound;
+  std::uint64_t v = next_u64();
+  while (v > limit) v = next_u64();
+  return v % bound;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::fork(std::uint64_t i) const noexcept {
+  // Mix the stream id into a copy of the state through splitmix64 so
+  // forked streams are decorrelated from each other and the parent.
+  std::uint64_t x = s_[0] ^ (0xA0761D6478BD642Full * (i + 1));
+  Rng child(0);
+  child.s_[0] = splitmix64(x) ^ s_[1];
+  child.s_[1] = splitmix64(x) ^ s_[2];
+  child.s_[2] = splitmix64(x) ^ s_[3];
+  child.s_[3] = splitmix64(x) ^ s_[0];
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) child.s_[0] = 1;
+  return child;
+}
+
+}  // namespace qc

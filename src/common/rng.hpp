@@ -1,0 +1,51 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// xoshiro256** (Blackman & Vigna) — small state, passes BigCrush, and
+// cheap enough to use inside parallel state-vector initialization. The
+// library never uses std::rand; all randomness flows through Rng so tests
+// are reproducible from a seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qc {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit words from `seed` via splitmix64 (the
+  /// recommended seeding procedure for xoshiro generators).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (one value per call; caches spare).
+  double normal() noexcept;
+
+  /// Complex amplitude with independent standard-normal re/im parts —
+  /// normalizing a vector of these yields a Haar-ish random state.
+  complex_t normal_complex() noexcept { return {normal(), normal()}; }
+
+  /// Jump-ahead equivalent: derive an unrelated stream for worker `i`.
+  Rng fork(std::uint64_t i) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace qc

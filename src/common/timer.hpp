@@ -1,0 +1,48 @@
+// Wall-clock timing for benches and the crossover heuristics.
+#pragma once
+
+#include <chrono>
+
+namespace qc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Times a callable once and returns elapsed seconds.
+template <typename F>
+double time_once(F&& f) {
+  WallTimer t;
+  f();
+  return t.seconds();
+}
+
+/// Runs `f` repeatedly until `min_seconds` of wall time or `max_reps`
+/// repetitions have elapsed, returning the *per-repetition* time. Used by
+/// the figure benches for the tiny problem sizes (the paper's Fig. 1
+/// starts at microseconds per operation).
+template <typename F>
+double time_per_rep(F&& f, double min_seconds = 0.2, int max_reps = 1 << 20) {
+  WallTimer total;
+  int reps = 0;
+  do {
+    f();
+    ++reps;
+  } while (total.seconds() < min_seconds && reps < max_reps);
+  return total.seconds() / reps;
+}
+
+}  // namespace qc

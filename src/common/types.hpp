@@ -1,0 +1,30 @@
+// Fundamental scalar and index types shared by every qemu-hpc module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qc {
+
+/// Complex amplitude type used throughout the library. The paper stores
+/// wave functions as vectors of double-precision complex numbers
+/// (16 bytes per entry); we follow that convention.
+using complex_t = std::complex<double>;
+
+/// Index into a 2^n-dimensional state vector. 64 bits supports n <= 63.
+using index_t = std::uint64_t;
+
+/// Qubit label. Qubit 0 is the least-significant bit of a basis index.
+using qubit_t = std::uint32_t;
+
+/// Number of amplitudes of an n-qubit register.
+constexpr index_t dim(qubit_t n) noexcept { return index_t{1} << n; }
+
+/// The imaginary unit as a complex_t.
+inline constexpr complex_t kI{0.0, 1.0};
+
+/// Machine-precision-scale tolerance used by validation helpers.
+inline constexpr double kTol = 1e-12;
+
+}  // namespace qc

@@ -1,0 +1,62 @@
+// Distributed emulation — the shortcuts of §3 applied to a state vector
+// that no longer fits one node.
+//
+// The paper's §4.2 makes the point directly: arithmetic on numbers with
+// more qubits than one node can hold "can only be dealt with by
+// emulating the classical function, which effectively performs one
+// global permutation of the (distributed) state vector". DistEmulator
+// implements that global permutation: each rank evaluates f on its local
+// basis indices, buckets the (destination index, amplitude) pairs by
+// owner rank, exchanges them with one variable-size all-to-all, and
+// scatters the received amplitudes — one communication phase regardless
+// of the function's complexity. The distributed QFT shortcut delegates
+// to the six-step distributed FFT (Eq. 5's three all-to-alls).
+#pragma once
+
+#include <functional>
+
+#include "emu/emulator.hpp"
+#include "fft/dist_fft.hpp"
+#include "sim/dist_sv.hpp"
+
+namespace qc::emu {
+
+class DistEmulator {
+ public:
+  /// Wraps (does not own) a distributed state vector. All methods are
+  /// collective: every rank of the underlying communicator must call
+  /// them in the same order.
+  explicit DistEmulator(sim::DistStateVector& dsv) : dsv_(&dsv) {}
+
+  [[nodiscard]] sim::DistStateVector& state() noexcept { return *dsv_; }
+
+  /// Applies a bijection f of global basis indices — emulated classical
+  /// arithmetic at cluster scale. One all-to-all exchange.
+  void apply_permutation(const std::function<index_t(index_t)>& f);
+
+  /// Partial-map variant (division-style): only nonzero amplitudes are
+  /// routed; a collision on any rank aborts the cluster with
+  /// std::logic_error.
+  void apply_partial_map(const std::function<index_t(index_t)>& f);
+
+  /// c += a*b (mod 2^w) across the distributed register (§3.1 at scale).
+  void multiply(RegRef a, RegRef b, RegRef c);
+
+  /// (a, b, 0) -> (a mod b, b, a div b); b = 0 convention as Emulator.
+  void divide(RegRef a, RegRef b, RegRef c);
+
+  /// b += a (mod 2^w).
+  void add(RegRef a, RegRef b);
+
+  /// Whole-register QFT (paper Eq. 4) as a distributed FFT; returns the
+  /// communication/computation breakdown (3 transposes, Eq. 5).
+  fft::DistFftStats qft();
+  fft::DistFftStats inverse_qft();
+
+ private:
+  void route(const std::function<index_t(index_t)>& f, bool partial);
+
+  sim::DistStateVector* dsv_;
+};
+
+}  // namespace qc::emu

@@ -1,0 +1,123 @@
+// Quantum phase estimation — simulation baseline and the two emulation
+// shortcuts of the paper's §3.3.
+//
+// Given a circuit realization of a unitary U on n qubits and a b-bit
+// precision target, QPE applies controlled U^(2^j) for j = 0..b-1
+// followed by an inverse QFT on the ancilla register. The three ways to
+// obtain the outcome distribution:
+//
+//  * SimulateCircuit — the baseline: run the full (n+b)-qubit circuit
+//    gate by gate; U is applied 2^b - 1 times, each costing G gate
+//    sweeps (O(G 2^{n+b}) total).
+//
+//  * RepeatedSquaring — emulation: build the dense 2^n x 2^n matrix of U
+//    once (O(G 2^{2n})), then square it b-1 times (O(2^{3n} b) with
+//    GEMM, O(2^{2.81n} b) with Strassen). For an eigenvector input the
+//    ancilla register never entangles with the system (phase kickback),
+//    so the outcome distribution follows from the b phases
+//    <u|U^{2^j}|u> and one 2^b-point inverse FFT.
+//
+//  * Eigendecomposition — emulation: diagonalize U once (zgeev role,
+//    O(2^{3n})); project the input state onto the eigenbasis and
+//    evaluate the exact QPE outcome kernel for every eigenphase. Valid
+//    for arbitrary (non-eigenvector) inputs.
+//
+// The crossover-precision analysis of the paper's Table 2 is
+// reproduced by models/qpe_model.hpp from the timings these return.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/gemm.hpp"
+#include "models/perf_model.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qc::emu {
+
+/// Dense 2^n x 2^n matrix of a circuit unitary, built by applying the
+/// circuit to every basis column with the specialized kernels —
+/// O(G 2^{2n}), the T_construct row of Table 2. Columns run in parallel.
+linalg::Matrix build_unitary(const circuit::Circuit& c);
+
+enum class QpeStrategy {
+  SimulateCircuit,
+  RepeatedSquaring,
+  Eigendecomposition,
+};
+
+struct QpeOptions {
+  unsigned bits = 4;                                    ///< b: ancilla precision bits.
+  QpeStrategy strategy = QpeStrategy::Eigendecomposition;
+  bool use_strassen = false;                            ///< GEMM kernel for squarings.
+};
+
+struct QpeResult {
+  std::vector<double> distribution;  ///< P(outcome m), size 2^b.
+  index_t most_likely = 0;           ///< argmax_m P(m).
+  double phase_estimate = 0;         ///< 2*pi*most_likely / 2^b.
+  std::string strategy_used;
+  // Wall-clock breakdown (Table 2 rows).
+  double seconds_construct = 0;  ///< dense-U construction.
+  double seconds_power = 0;      ///< repeated squarings (GEMM/Strassen).
+  double seconds_eig = 0;        ///< eigendecomposition.
+  double seconds_simulate = 0;   ///< gate-level circuit execution.
+};
+
+/// Runs phase estimation of the unitary given by `u_circuit` on the
+/// input state `input` (n qubits). For RepeatedSquaring the input should
+/// be (close to) an eigenvector — the paper's §3.3 setting; the other
+/// two strategies handle arbitrary inputs. `input` is not modified.
+QpeResult phase_estimation(const circuit::Circuit& u_circuit, const sim::StateVector& input,
+                           const QpeOptions& options);
+
+/// Exact QPE outcome kernel: probability of measuring `m` on b ancilla
+/// bits when the true eigenphase is theta (radians). The Fejer-type
+/// kernel |sin(2^{b-1} delta) / (2^b sin(delta/2))|^2.
+double qpe_outcome_probability(double theta, index_t m, unsigned bits);
+
+// --- iterative (semiclassical) phase estimation -------------------------
+//
+// The paper's reference [16] (Beauregard) uses a single recycled ancilla
+// qubit: b rounds of H - controlled-U^{2^j} - feedback rotation - H -
+// measure, reading the phase bits from least significant up. This is the
+// minimal-memory simulation baseline of §3.3 ("an algorithm with the
+// minimal number of one ancilla qubit"): the joint state has only n+1
+// qubits, but U is still applied 2^b - 1 times.
+
+struct IterativeQpeResult {
+  index_t outcome = 0;        ///< Measured b-bit phase estimate.
+  double phase_estimate = 0;  ///< 2*pi*outcome / 2^b.
+  double seconds_simulate = 0;
+};
+
+/// One iterative QPE run on a *copy* of `input` (n-qubit register; the
+/// ancilla is managed internally). Measurement randomness from `rng`;
+/// for an eigenvector whose phase is exactly representable in `bits`
+/// bits the outcome is deterministic.
+IterativeQpeResult iterative_phase_estimation(const circuit::Circuit& u_circuit,
+                                              const sim::StateVector& input, unsigned bits,
+                                              Rng& rng);
+
+// --- strategy selection (the §3.3 crossover heuristic) ------------------
+
+/// Measures the four primitive costs of Table 2 for this circuit on the
+/// current machine: one gate-level application, dense construction, one
+/// GEMM squaring, one eigendecomposition.
+models::QpeCosts measure_qpe_costs(const circuit::Circuit& u_circuit);
+
+/// Extrapolates measured costs from an n-qubit workload to a larger one
+/// using the paper's complexity exponents (applyU ~ G 2^n, construct ~
+/// G 2^{2n}, gemm/eig ~ 2^{3n}); gate counts g_from/g_to account for the
+/// workload's G(n).
+models::QpeCosts scale_qpe_costs(const models::QpeCosts& costs, qubit_t n_from,
+                                 qubit_t n_to, std::size_t g_from, std::size_t g_to);
+
+/// Picks the fastest strategy for a b-bit estimate given primitive
+/// costs — the emulator's automatic crossover decision (paper §4.4).
+QpeStrategy choose_qpe_strategy(const models::QpeCosts& costs, unsigned bits);
+
+}  // namespace qc::emu

@@ -1,0 +1,51 @@
+// Distributed 1D FFT over the cluster substrate (the MKL Cluster FFT /
+// distributed-FFTW role of the paper's §3.2 and Eq. 5).
+//
+// The transform of N = 2^n points distributed in contiguous chunks over
+// P ranks uses the classic six-step algorithm. Viewing the data as an
+// R x C row-major matrix (R = 2^ceil(n/2), C = 2^floor(n/2)):
+//
+//   1. distributed transpose            (all-to-all #1)
+//   2. local R-point FFTs along rows
+//   3. twiddle scaling by w_N^(g2*k1)
+//   4. distributed transpose            (all-to-all #2)
+//   5. local C-point FFTs along rows
+//   6. distributed transpose            (all-to-all #3, natural order out)
+//
+// Exactly the three all-to-all transposition steps the paper's
+// performance model (Eq. 5) charges: T_FFT = 5Nn/(eff*FLOPS) + 3*16N/Bnet.
+#pragma once
+
+#include <span>
+
+#include "cluster/cluster.hpp"
+#include "fft/fft.hpp"
+
+namespace qc::fft {
+
+/// Per-rank wall-clock breakdown of one distributed transform (values
+/// are max-reduced over ranks so they reflect the critical path).
+struct DistFftStats {
+  double transpose_seconds = 0;  ///< Sum of the three all-to-all transposes.
+  double local_fft_seconds = 0;  ///< Both local row-FFT phases.
+  double twiddle_seconds = 0;    ///< Twiddle-scaling phase.
+  [[nodiscard]] double total() const noexcept {
+    return transpose_seconds + local_fft_seconds + twiddle_seconds;
+  }
+};
+
+/// Distributed transpose of an `rows` x `cols` row-major matrix whose
+/// rows are block-distributed over the ranks of `comm`. `local_in` holds
+/// rows/P rows of length cols; `local_out` receives cols/P rows of length
+/// rows. Requires P | rows and P | cols.
+void dist_transpose(cluster::Comm& comm, std::span<const complex_t> local_in,
+                    std::span<complex_t> local_out, index_t rows, index_t cols);
+
+/// In-place distributed FFT of 2^n_total points. Each rank passes its
+/// contiguous chunk (2^n_total / P elements, natural global order); the
+/// result is returned in natural order with the same distribution.
+/// Requires P to be a power of two with P <= 2^floor(n_total/2).
+DistFftStats dist_fft(cluster::Comm& comm, std::span<complex_t> local, qubit_t n_total,
+                      Sign sign, Norm norm = Norm::None);
+
+}  // namespace qc::fft

@@ -1,0 +1,181 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace qc::fft {
+namespace {
+
+void scale(std::span<complex_t> data, double factor) {
+#pragma omp parallel for if (worth_parallelizing(data.size()))
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= factor;
+}
+
+void apply_norm(std::span<complex_t> data, Norm norm) {
+  switch (norm) {
+    case Norm::None:
+      return;
+    case Norm::Unitary:
+      scale(data, 1.0 / std::sqrt(static_cast<double>(data.size())));
+      return;
+    case Norm::Inverse:
+      scale(data, 1.0 / static_cast<double>(data.size()));
+      return;
+  }
+}
+
+}  // namespace
+
+void bit_reverse_permute(std::span<complex_t> data, qubit_t n) {
+  const index_t size = index_t{1} << n;
+  if (data.size() != size) throw std::invalid_argument("bit_reverse_permute: size mismatch");
+#pragma omp parallel for if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) {
+    const index_t j = bits::reverse(i, n);
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+FftPlan::FftPlan(qubit_t n_qubits, Sign sign, Schedule schedule)
+    : n_(n_qubits), sign_(sign), schedule_(schedule) {
+  const index_t size = index_t{1} << n_;
+  const index_t half = size / 2;
+  twiddle_.resize(half > 0 ? half : 1);
+  const double base = static_cast<double>(static_cast<int>(sign)) * 2.0 *
+                      std::numbers::pi / static_cast<double>(size);
+  // Direct std::polar per entry keeps every twiddle accurate to one ulp
+  // (incremental rotation would accumulate O(N) rounding error).
+#pragma omp parallel for if (worth_parallelizing(half))
+  for (index_t j = 0; j < std::max<index_t>(half, 1); ++j)
+    twiddle_[j] = std::polar(1.0, base * static_cast<double>(j));
+}
+
+void FftPlan::run_stage(complex_t* a, qubit_t s) const {
+  const index_t size = index_t{1} << n_;
+  const complex_t* tw = twiddle_.data();
+  const index_t len = index_t{1} << s;   // butterfly span of this stage
+  const index_t half = len >> 1;
+  const index_t stride = size >> s;      // twiddle stride: tw[j*stride] = w_len^j
+  const index_t blocks = size >> s;
+
+  if (blocks >= static_cast<index_t>(max_threads()) * 2 || !worth_parallelizing(size)) {
+    // Many independent blocks: parallelize across blocks, keep the
+    // inner butterfly loop serial and cache-contiguous.
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+    for (index_t b = 0; b < blocks; ++b) {
+      complex_t* blk = a + b * len;
+      for (index_t j = 0; j < half; ++j) {
+        const complex_t w = tw[j * stride];
+        const complex_t u = blk[j];
+        const complex_t v = blk[j + half] * w;
+        blk[j] = u + v;
+        blk[j + half] = u - v;
+      }
+    }
+  } else {
+    // Few wide blocks (late stages): parallelize inside each block.
+    for (index_t b = 0; b < blocks; ++b) {
+      complex_t* blk = a + b * len;
+#pragma omp parallel for schedule(static)
+      for (index_t j = 0; j < half; ++j) {
+        const complex_t w = tw[j * stride];
+        const complex_t u = blk[j];
+        const complex_t v = blk[j + half] * w;
+        blk[j] = u + v;
+        blk[j + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::run_fused_pair(complex_t* a, qubit_t s) const {
+  // Stages s and s+1 in one sweep (radix-2^2): for each quadruple
+  // (i0, i1, i2, i3) the stage-s butterflies feed directly into the
+  // stage-(s+1) butterflies while everything is in registers.
+  const index_t size = index_t{1} << n_;
+  const complex_t* tw = twiddle_.data();
+  const index_t len = index_t{1} << s;
+  const index_t half = len >> 1;
+  const index_t len2 = len << 1;
+  const index_t stride_s = size >> s;
+  const index_t stride_s1 = size >> (s + 1);
+  const index_t blocks = size / len2;
+
+  auto quad = [&](complex_t* blk, index_t j) {
+    const complex_t ws = tw[j * stride_s];
+    const complex_t w1 = tw[j * stride_s1];
+    const complex_t w2 = tw[(j + half) * stride_s1];
+    const complex_t u0 = blk[j];
+    const complex_t v0 = blk[j + half] * ws;
+    const complex_t u1 = blk[j + len];
+    const complex_t v1 = blk[j + len + half] * ws;
+    const complex_t x0 = u0 + v0, x1 = u0 - v0;
+    const complex_t y0 = (u1 + v1) * w1, y1 = (u1 - v1) * w2;
+    blk[j] = x0 + y0;
+    blk[j + len] = x0 - y0;
+    blk[j + half] = x1 + y1;
+    blk[j + len + half] = x1 - y1;
+  };
+
+  if (blocks >= static_cast<index_t>(max_threads()) * 2 || !worth_parallelizing(size)) {
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+    for (index_t b = 0; b < blocks; ++b) {
+      complex_t* blk = a + b * len2;
+      for (index_t j = 0; j < half; ++j) quad(blk, j);
+    }
+  } else {
+    for (index_t b = 0; b < blocks; ++b) {
+      complex_t* blk = a + b * len2;
+#pragma omp parallel for schedule(static)
+      for (index_t j = 0; j < half; ++j) quad(blk, j);
+    }
+  }
+}
+
+void FftPlan::execute(std::span<complex_t> data, Norm norm) const {
+  const index_t size = index_t{1} << n_;
+  if (data.size() != size) throw std::invalid_argument("FftPlan::execute: size mismatch");
+  if (size == 1) {
+    apply_norm(data, norm);
+    return;
+  }
+
+  bit_reverse_permute(data, n_);
+  complex_t* a = data.data();
+
+  if (schedule_ == Schedule::SingleStage) {
+    for (qubit_t s = 1; s <= n_; ++s) run_stage(a, s);
+  } else {
+    qubit_t s = 1;
+    for (; s + 1 <= n_; s += 2) run_fused_pair(a, s);
+    if (s == n_) run_stage(a, s);  // odd stage count: last stage alone
+  }
+  apply_norm(data, norm);
+}
+
+void fft_inplace(std::span<complex_t> data, Sign sign, Norm norm) {
+  if (!bits::is_pow2(data.size())) throw std::invalid_argument("fft: size not a power of two");
+  const FftPlan plan(bits::log2_floor(data.size()), sign);
+  plan.execute(data, norm);
+}
+
+void dft_naive(std::span<const complex_t> in, std::span<complex_t> out, Sign sign, Norm norm) {
+  const std::size_t size = in.size();
+  if (out.size() != size) throw std::invalid_argument("dft_naive: size mismatch");
+  const double base = static_cast<double>(static_cast<int>(sign)) * 2.0 *
+                      std::numbers::pi / static_cast<double>(size);
+#pragma omp parallel for if (size >= 256)
+  for (std::size_t k = 0; k < size; ++k) {
+    complex_t acc{};
+    for (std::size_t l = 0; l < size; ++l)
+      acc += in[l] * std::polar(1.0, base * static_cast<double>(k) * static_cast<double>(l));
+    out[k] = acc;
+  }
+  apply_norm(out, norm);
+}
+
+}  // namespace qc::fft

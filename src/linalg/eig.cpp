@@ -1,0 +1,273 @@
+#include "linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qc::linalg {
+namespace {
+
+/// Complex Givens rotation (LAPACK zlartg convention): real c and complex
+/// s with [c s; -conj(s) c] * [a; b] = [r; 0].
+struct Givens {
+  double c = 1.0;
+  complex_t s{};
+  complex_t r{};
+};
+
+Givens make_givens(complex_t a, complex_t b) {
+  Givens g;
+  const double an = std::abs(a), bn = std::abs(b);
+  if (bn == 0.0) {
+    g.c = 1.0;
+    g.s = 0.0;
+    g.r = a;
+    return g;
+  }
+  if (an == 0.0) {
+    g.c = 0.0;
+    g.s = 1.0;
+    g.r = b;
+    return g;
+  }
+  const double h = std::hypot(an, bn);
+  g.c = an / h;
+  g.s = (a / an) * std::conj(b) / h;
+  g.r = (a / an) * h;
+  return g;
+}
+
+/// Applies G to rows (k, k+1) of `m`, columns [j0, j1).
+void rotate_rows(Matrix& m, std::size_t k, const Givens& g, std::size_t j0, std::size_t j1) {
+  complex_t* r0 = &m(k, 0);
+  complex_t* r1 = &m(k + 1, 0);
+  for (std::size_t j = j0; j < j1; ++j) {
+    const complex_t x = r0[j], y = r1[j];
+    r0[j] = g.c * x + g.s * y;
+    r1[j] = -std::conj(g.s) * x + g.c * y;
+  }
+}
+
+/// Applies G^H to columns (k, k+1) of `m`, rows [i0, i1).
+void rotate_cols(Matrix& m, std::size_t k, const Givens& g, std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const complex_t x = m(i, k), y = m(i, k + 1);
+    m(i, k) = g.c * x + std::conj(g.s) * y;
+    m(i, k + 1) = -g.s * x + g.c * y;
+  }
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 of the active
+/// window closest to the bottom-right entry.
+complex_t wilkinson_shift(const Matrix& h, std::size_t hi) {
+  const complex_t a = h(hi - 1, hi - 1), b = h(hi - 1, hi);
+  const complex_t c = h(hi, hi - 1), d = h(hi, hi);
+  const complex_t tr = a + d;
+  const complex_t det = a * d - b * c;
+  const complex_t disc = std::sqrt(tr * tr - 4.0 * det);
+  const complex_t l1 = 0.5 * (tr + disc), l2 = 0.5 * (tr - disc);
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+}  // namespace
+
+Matrix hessenberg(const Matrix& a, Matrix* q_out) {
+  if (!a.square()) throw std::invalid_argument("hessenberg: non-square");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  Matrix q = Matrix::identity(n);
+
+  // Householder vectors stored column-by-column; applied immediately.
+  std::vector<complex_t> v(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Build reflector annihilating h(k+2 .. n-1, k).
+    double xnorm = 0;
+    for (std::size_t i = k + 1; i < n; ++i) xnorm += std::norm(h(i, k));
+    xnorm = std::sqrt(xnorm);
+    if (xnorm < 1e-300) continue;
+
+    const complex_t x0 = h(k + 1, k);
+    const complex_t phase = std::abs(x0) == 0.0 ? complex_t{1.0} : x0 / std::abs(x0);
+    const complex_t alpha = -phase * xnorm;
+
+    double vnorm2 = 0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = h(i, k);
+      if (i == k + 1) v[i] -= alpha;
+      vnorm2 += std::norm(v[i]);
+    }
+    if (vnorm2 < 1e-300) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // H <- P H, P = I - beta v v^H acting on rows k+1..n-1.
+#pragma omp parallel for if (n > 256)
+    for (std::size_t j = k; j < n; ++j) {
+      complex_t dot{};
+      for (std::size_t i = k + 1; i < n; ++i) dot += std::conj(v[i]) * h(i, j);
+      dot *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= dot * v[i];
+    }
+    // H <- H P (columns k+1..n-1).
+#pragma omp parallel for if (n > 256)
+    for (std::size_t i = 0; i < n; ++i) {
+      complex_t dot{};
+      for (std::size_t j = k + 1; j < n; ++j) dot += h(i, j) * v[j];
+      dot *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= dot * std::conj(v[j]);
+    }
+    // Q <- Q P.
+    if (q_out != nullptr) {
+#pragma omp parallel for if (n > 256)
+      for (std::size_t i = 0; i < n; ++i) {
+        complex_t dot{};
+        for (std::size_t j = k + 1; j < n; ++j) dot += q(i, j) * v[j];
+        dot *= beta;
+        for (std::size_t j = k + 1; j < n; ++j) q(i, j) -= dot * std::conj(v[j]);
+      }
+    }
+    // Zero out the annihilated entries exactly.
+    h(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+  if (q_out != nullptr) *q_out = std::move(q);
+  return h;
+}
+
+SchurResult schur(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("schur: non-square");
+  const std::size_t n = a.rows();
+  SchurResult res;
+  res.t = hessenberg(a, &res.q);
+  if (n <= 1) return res;
+  Matrix& t = res.t;
+  Matrix& q = res.q;
+
+  const double anorm = std::max(a.frobenius_norm(), 1e-300);
+  const double eps = 1e-15;
+  auto subdiag_small = [&](std::size_t i) {
+    const double s = std::abs(t(i, i)) + std::abs(t(i + 1, i + 1));
+    return std::abs(t(i + 1, i)) <= eps * std::max(s, anorm * 1e-3);
+  };
+
+  std::size_t hi = n - 1;
+  int iters_this_eig = 0;
+  const int max_iters_per_eig = 40;
+  std::vector<Givens> rot(n);
+
+  while (hi > 0) {
+    // Deflate converged eigenvalues at the bottom of the window.
+    if (subdiag_small(hi - 1)) {
+      t(hi, hi - 1) = 0.0;
+      --hi;
+      iters_this_eig = 0;
+      continue;
+    }
+    // Find the active window [lo, hi]: walk up until a negligible
+    // subdiagonal splits the problem.
+    std::size_t lo = hi;
+    while (lo > 0 && !subdiag_small(lo - 1)) --lo;
+    if (lo > 0) t(lo, lo - 1) = 0.0;
+
+    if (++iters_this_eig > max_iters_per_eig)
+      throw std::runtime_error("schur: QR iteration failed to converge");
+
+    // Exceptional shift every 10 sweeps breaks rare symmetric cycles.
+    complex_t sigma;
+    if (iters_this_eig % 10 == 0) {
+      sigma = t(hi, hi) + complex_t{std::abs(t(hi, hi - 1)), 0.0};
+    } else {
+      sigma = wilkinson_shift(t, hi);
+    }
+
+    // Explicit single-shift QR sweep on [lo, hi]:
+    //   (T - sigma I) = G_{hi-1}^H ... G_lo^H R   (left rotations)
+    //   T' = R G_lo ... G_{hi-1} + sigma I        (right rotations)
+    for (std::size_t i = lo; i <= hi; ++i) t(i, i) -= sigma;
+    for (std::size_t k = lo; k < hi; ++k) {
+      rot[k] = make_givens(t(k, k), t(k + 1, k));
+      t(k, k) = rot[k].r;
+      t(k + 1, k) = 0.0;
+      rotate_rows(t, k, rot[k], k + 1, n);
+    }
+    for (std::size_t k = lo; k < hi; ++k) {
+      rotate_cols(t, k, rot[k], 0, std::min(k + 2, hi) + 1);
+      rotate_cols(q, k, rot[k], 0, n);
+    }
+    for (std::size_t i = lo; i <= hi; ++i) t(i, i) += sigma;
+    ++res.iterations;
+  }
+  // Clean any residual below-diagonal dust so T is exactly triangular.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) t(i, j) = 0.0;
+  return res;
+}
+
+EigResult eig(const Matrix& a, bool compute_vectors) {
+  const std::size_t n = a.rows();
+  SchurResult s = schur(a);
+  EigResult r;
+  r.iterations = s.iterations;
+  r.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) r.values[i] = s.t(i, i);
+  if (!compute_vectors) return r;
+
+  // Eigenvectors of the triangular factor by back-substitution:
+  // (T - lambda_j I) y = 0 with y_j = 1, y_{>j} = 0; then v = Q y.
+  const double tnorm = std::max(s.t.frobenius_norm(), 1e-300);
+  const double smallden = 1e-15 * tnorm;
+  Matrix y(n, n);
+#pragma omp parallel for schedule(dynamic) if (n > 64)
+  for (std::size_t j = 0; j < n; ++j) {
+    const complex_t lambda = r.values[j];
+    y(j, j) = 1.0;
+    for (std::size_t ii = j; ii-- > 0;) {
+      complex_t acc{};
+      for (std::size_t k = ii + 1; k <= j; ++k) acc += s.t(ii, k) * y(k, j);
+      complex_t den = s.t(ii, ii) - lambda;
+      // LAPACK-style guard: perturb a (near-)zero denominator, which
+      // occurs for repeated eigenvalues, instead of dividing by zero.
+      if (std::abs(den) < smallden) den = complex_t{smallden, 0.0};
+      y(ii, j) = -acc / den;
+    }
+  }
+  // v = Q y, column-normalized.
+  Matrix v(n, n);
+#pragma omp parallel for schedule(static) if (n > 64)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      complex_t acc{};
+      for (std::size_t k = j + 1; k-- > 0;) acc += s.q(i, k) * y(k, j);
+      v(i, j) = acc;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0;
+    for (std::size_t i = 0; i < n; ++i) norm += std::norm(v(i, j));
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (std::size_t i = 0; i < n; ++i) v(i, j) /= norm;
+    }
+  }
+  r.vectors = std::move(v);
+  return r;
+}
+
+double eig_residual(const Matrix& a, const EigResult& r) {
+  const std::size_t n = a.rows();
+  if (r.vectors.rows() != n) throw std::invalid_argument("eig_residual: no vectors");
+  std::vector<complex_t> av(n);
+  double worst = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      complex_t acc{};
+      for (std::size_t k = 0; k < n; ++k) acc += a(i, k) * r.vectors(k, j);
+      av[i] = acc - r.values[j] * r.vectors(i, j);
+    }
+    double res = 0;
+    for (std::size_t i = 0; i < n; ++i) res += std::norm(av[i]);
+    worst = std::max(worst, std::sqrt(res));
+  }
+  return worst;
+}
+
+}  // namespace qc::linalg

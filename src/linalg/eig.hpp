@@ -1,0 +1,53 @@
+// Dense complex eigensolver (zgeev role).
+//
+// The paper's §3.3 offers eigendecomposition as the second emulation
+// shortcut for quantum phase estimation: diagonalize the circuit unitary
+// once (O(2^{3n}) via Hessenberg reduction + QR iteration [Golub/Nash/
+// Van Loan]), then read all phases off directly. This module implements
+// that pipeline from scratch:
+//
+//   A  --Householder-->  H (upper Hessenberg),  A = Q0 H Q0^H
+//   H  --shifted QR  -->  T (upper triangular, Schur form), A = Q T Q^H
+//   eigenvalues  = diag(T)
+//   eigenvectors = Q * (triangular back-substitution on T)
+//
+// No balancing step is performed; the library's inputs are circuit
+// unitaries and similar well-conditioned matrices.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// Reduces `a` to upper Hessenberg form H with A = Q H Q^H.
+/// If `q_out` is non-null it receives the accumulated unitary Q.
+Matrix hessenberg(const Matrix& a, Matrix* q_out = nullptr);
+
+struct SchurResult {
+  Matrix t;  ///< Upper triangular Schur factor.
+  Matrix q;  ///< Unitary with a = q * t * q^H.
+  int iterations = 0;  ///< Total QR sweeps performed.
+};
+
+/// Complex Schur decomposition by shifted QR iteration with deflation.
+/// Throws std::runtime_error if an eigenvalue fails to converge within
+/// 40 sweeps (does not happen for normal matrices in practice).
+SchurResult schur(const Matrix& a);
+
+struct EigResult {
+  std::vector<complex_t> values;  ///< Eigenvalues (Schur diagonal order).
+  Matrix vectors;                 ///< Column j is the eigenvector of values[j]; empty if not requested.
+  int iterations = 0;
+};
+
+/// Full eigendecomposition. With `compute_vectors` the columns of
+/// `vectors` satisfy ||A v - lambda v|| = O(eps ||A||).
+EigResult eig(const Matrix& a, bool compute_vectors = true);
+
+/// Largest residual ||A v_j - lambda_j v_j||_2 over all j — the
+/// validation metric used by the tests.
+double eig_residual(const Matrix& a, const EigResult& r);
+
+}  // namespace qc::linalg

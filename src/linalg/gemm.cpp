@@ -1,0 +1,144 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace qc::linalg {
+namespace {
+
+// Block sizes tuned for ~32 KiB L1 / 1 MiB L2 with 16-byte elements:
+// an (MC x KC) panel of A (~128 KiB) stays L2-resident while a
+// (KC x NR) sliver of B streams through L1.
+constexpr std::size_t kMC = 64;
+constexpr std::size_t kKC = 64;
+constexpr std::size_t kNC = 256;
+
+// C[i0:i1, j0:j1] += A[i0:i1, k0:k1] * B[k0:k1, j0:j1], serial micro-loop.
+// Loop order i-k-j makes the innermost loop a contiguous axpy over a row
+// of C, which the compiler vectorizes well for complex<double>.
+void micro_block(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0, std::size_t i1,
+                 std::size_t k0, std::size_t k1, std::size_t j0, std::size_t j1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    complex_t* ci = &c(i, 0);
+    for (std::size_t k = k0; k < k1; ++k) {
+      const complex_t aik = a(i, k);
+      if (aik == complex_t{}) continue;
+      const complex_t* bk = &b(k, 0);
+      for (std::size_t j = j0; j < j1; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void check_shapes(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("gemm: inner dimensions differ");
+}
+
+// Adds the quadrant view arithmetic used by Strassen: copies in/out of
+// contiguous submatrices.
+Matrix quadrant(const Matrix& m, std::size_t qi, std::size_t qj, std::size_t h) {
+  Matrix r(h, h);
+  for (std::size_t i = 0; i < h; ++i)
+    for (std::size_t j = 0; j < h; ++j) r(i, j) = m(qi * h + i, qj * h + j);
+  return r;
+}
+
+void add_into_quadrant(Matrix& m, const Matrix& q, std::size_t qi, std::size_t qj,
+                       std::size_t h) {
+  for (std::size_t i = 0; i < h; ++i)
+    for (std::size_t j = 0; j < h; ++j) m(qi * h + i, qj * h + j) += q(i, j);
+}
+
+}  // namespace
+
+Matrix gemm_naive(const Matrix& a, const Matrix& b) {
+  check_shapes(a, b);
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const complex_t aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  return c;
+}
+
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_shapes(a, b);
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("gemm_into: C has wrong shape");
+  std::fill_n(c.data(), c.rows() * c.cols(), complex_t{});
+
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  // Parallelize over row blocks: each thread owns disjoint rows of C, so
+  // no synchronization or false sharing on the output.
+#pragma omp parallel for schedule(dynamic) if (m * n * kk > 1u << 15)
+  for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+    const std::size_t i1 = std::min(i0 + kMC, m);
+    for (std::size_t k0 = 0; k0 < kk; k0 += kKC) {
+      const std::size_t k1 = std::min(k0 + kKC, kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+        const std::size_t j1 = std::min(j0 + kNC, n);
+        micro_block(a, b, c, i0, i1, k0, k1, j0, j1);
+      }
+    }
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_into(a, b, c);
+  return c;
+}
+
+Matrix strassen(const Matrix& a, const Matrix& b, std::size_t cutoff) {
+  check_shapes(a, b);
+  const bool square_pow2 = a.square() && b.square() && a.rows() == b.rows() &&
+                           bits::is_pow2(a.rows());
+  if (!square_pow2) return gemm(a, b);
+  const std::size_t n = a.rows();
+  if (n <= cutoff) return gemm(a, b);
+
+  const std::size_t h = n / 2;
+  const Matrix a11 = quadrant(a, 0, 0, h), a12 = quadrant(a, 0, 1, h);
+  const Matrix a21 = quadrant(a, 1, 0, h), a22 = quadrant(a, 1, 1, h);
+  const Matrix b11 = quadrant(b, 0, 0, h), b12 = quadrant(b, 0, 1, h);
+  const Matrix b21 = quadrant(b, 1, 0, h), b22 = quadrant(b, 1, 1, h);
+
+  // Winograd-ordered Strassen products.
+  const Matrix m1 = strassen(a11 + a22, b11 + b22, cutoff);
+  const Matrix m2 = strassen(a21 + a22, b11, cutoff);
+  const Matrix m3 = strassen(a11, b12 - b22, cutoff);
+  const Matrix m4 = strassen(a22, b21 - b11, cutoff);
+  const Matrix m5 = strassen(a11 + a12, b22, cutoff);
+  const Matrix m6 = strassen(a21 - a11, b11 + b12, cutoff);
+  const Matrix m7 = strassen(a12 - a22, b21 + b22, cutoff);
+
+  Matrix c(n, n);
+  add_into_quadrant(c, m1 + m4 - m5 + m7, 0, 0, h);
+  add_into_quadrant(c, m3 + m5, 0, 1, h);
+  add_into_quadrant(c, m2 + m4, 1, 0, h);
+  add_into_quadrant(c, m1 - m2 + m3 + m6, 1, 1, h);
+  return c;
+}
+
+Matrix matrix_power_pow2(const Matrix& a, unsigned k, bool use_strassen) {
+  if (!a.square()) throw std::invalid_argument("matrix_power_pow2: non-square");
+  Matrix r = a;
+  for (unsigned i = 0; i < k; ++i) r = use_strassen ? strassen(r, r) : gemm(r, r);
+  return r;
+}
+
+Matrix matrix_power(const Matrix& a, std::uint64_t e) {
+  if (!a.square()) throw std::invalid_argument("matrix_power: non-square");
+  Matrix result = Matrix::identity(a.rows());
+  Matrix base = a;
+  while (e > 0) {
+    if (e & 1) result = gemm(result, base);
+    e >>= 1;
+    if (e > 0) base = gemm(base, base);
+  }
+  return result;
+}
+
+}  // namespace qc::linalg

@@ -1,0 +1,34 @@
+// Complex double-precision matrix-matrix multiplication (zgemm role).
+//
+// The paper's QPE emulation (§3.3) computes U^(2^i) by repeated squaring
+// with MKL zgemm; this module provides the from-scratch equivalent: a
+// cache-blocked OpenMP GEMM plus a Strassen variant that realizes the
+// O(N^2.81) scaling the paper invokes for the b > 1.8n crossover rule.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// Reference O(N^3) triple loop — the correctness oracle for the others.
+Matrix gemm_naive(const Matrix& a, const Matrix& b);
+
+/// Cache-blocked, OpenMP-parallel C = A*B. Handles arbitrary shapes.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// In-place variant writing into a preallocated C (C must be m x n).
+/// Computes C = A*B (no accumulation).
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Strassen multiplication for square power-of-two matrices, falling back
+/// to blocked gemm below `cutoff`. Other shapes delegate to gemm().
+Matrix strassen(const Matrix& a, const Matrix& b, std::size_t cutoff = 256);
+
+/// A^(2^k) by repeated squaring (k squarings), the §3.3 shortcut.
+/// `use_strassen` selects the kernel per the crossover heuristic.
+Matrix matrix_power_pow2(const Matrix& a, unsigned k, bool use_strassen = false);
+
+/// A^e for arbitrary e >= 0 (square-and-multiply).
+Matrix matrix_power(const Matrix& a, std::uint64_t e);
+
+}  // namespace qc::linalg

@@ -1,0 +1,173 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qc::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<complex_t>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.resize(rows_ * cols_);
+  std::size_t i = 0;
+  for (const auto& row : init) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    std::copy(row.begin(), row.end(), data_.begin() + static_cast<std::ptrdiff_t>(i * cols_));
+    ++i;
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.normal_complex();
+  return m;
+}
+
+Matrix Matrix::random_unitary(std::size_t n, Rng& rng) {
+  // Modified Gram-Schmidt QR of a Gaussian matrix; with the R_ii > 0
+  // phase fix this samples the Haar measure (Mezzadri 2007).
+  Matrix a = random(n, n, rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      complex_t dot{};
+      for (std::size_t i = 0; i < n; ++i) dot += std::conj(a(i, k)) * a(i, j);
+      for (std::size_t i = 0; i < n; ++i) a(i, j) -= dot * a(i, k);
+    }
+    double norm = 0;
+    for (std::size_t i = 0; i < n; ++i) norm += std::norm(a(i, j));
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) throw std::runtime_error("random_unitary: degenerate column");
+    for (std::size_t i = 0; i < n; ++i) a(i, j) /= norm;
+    // Re-orthogonalize once for numerical robustness at larger n.
+    for (std::size_t k = 0; k < j; ++k) {
+      complex_t dot{};
+      for (std::size_t i = 0; i < n; ++i) dot += std::conj(a(i, k)) * a(i, j);
+      for (std::size_t i = 0; i < n; ++i) a(i, j) -= dot * a(i, k);
+    }
+    double norm2 = 0;
+    for (std::size_t i = 0; i < n; ++i) norm2 += std::norm(a(i, j));
+    norm2 = std::sqrt(norm2);
+    for (std::size_t i = 0; i < n; ++i) a(i, j) /= norm2;
+  }
+  return a;
+}
+
+Matrix Matrix::random_hermitian(std::size_t n, Rng& rng) {
+  Matrix a = random(n, n, rng);
+  Matrix h(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+  return h;
+}
+
+Matrix Matrix::diagonal(std::span<const complex_t> entries) {
+  Matrix m(entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) m(i, i) = entries[i];
+  return m;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = std::conj((*this)(i, j));
+  return r;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  return r;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  for (std::size_t k = 0; k < data_.size(); ++k) r.data_[k] += o.data_[k];
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix r = *this;
+  for (std::size_t k = 0; k < data_.size(); ++k) r.data_[k] -= o.data_[k];
+  return r;
+}
+
+Matrix Matrix::operator*(complex_t s) const {
+  Matrix r = *this;
+  for (auto& v : r.data_) v *= s;
+  return r;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs_diff(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  double m = 0;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    m = std::max(m, std::abs(data_[k] - o.data_[k]));
+  return m;
+}
+
+double Matrix::unitarity_error() const {
+  assert(square());
+  const std::size_t n = rows_;
+  double err = 0;
+#pragma omp parallel for reduction(max : err) if (n > 64)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      complex_t dot{};
+      for (std::size_t k = 0; k < n; ++k) dot += std::conj((*this)(k, i)) * (*this)(k, j);
+      if (i == j) dot -= 1.0;
+      err = std::max(err, std::abs(dot));
+    }
+  }
+  return err;
+}
+
+double Matrix::hermiticity_error() const {
+  assert(square());
+  double err = 0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      err = std::max(err, std::abs((*this)(i, j) - std::conj((*this)(j, i))));
+  return err;
+}
+
+void Matrix::matvec(std::span<const complex_t> x, std::span<complex_t> y) const {
+  assert(x.size() == cols_ && y.size() == rows_);
+#pragma omp parallel for if (rows_ * cols_ > 4096)
+  for (std::size_t i = 0; i < rows_; ++i) {
+    complex_t acc{};
+    const complex_t* row_i = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row_i[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+Matrix Matrix::kron(const Matrix& o) const {
+  Matrix r(rows_ * o.rows_, cols_ * o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const complex_t a = (*this)(i, j);
+      if (a == complex_t{}) continue;
+      for (std::size_t k = 0; k < o.rows_; ++k)
+        for (std::size_t l = 0; l < o.cols_; ++l)
+          r(i * o.rows_ + k, j * o.cols_ + l) = a * o(k, l);
+    }
+  return r;
+}
+
+}  // namespace qc::linalg

@@ -1,0 +1,110 @@
+// Dense row-major complex<double> matrix.
+//
+// The emulator's quantum-phase-estimation shortcut (paper §3.3) builds a
+// dense 2^n x 2^n representation of the circuit unitary and manipulates
+// it with GEMM (repeated squaring) or an eigensolver; Matrix is the
+// storage type for those paths and for all small-n test oracles.
+#pragma once
+
+#include <cassert>
+#include <initializer_list>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qc::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, complex_t{}) {}
+
+  /// Row-major initializer: Matrix{{a,b},{c,d}}.
+  Matrix(std::initializer_list<std::initializer_list<complex_t>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  complex_t& operator()(std::size_t i, std::size_t j) noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const complex_t& operator()(std::size_t i, std::size_t j) const noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] complex_t* data() noexcept { return data_.data(); }
+  [[nodiscard]] const complex_t* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<complex_t> row(std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const complex_t> row(std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+  // --- factories -----------------------------------------------------
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t n) { return Matrix(n, n); }
+
+  /// Entries i.i.d. complex standard normal (deterministic from rng).
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng);
+
+  /// Haar-like random unitary: QR of a random Gaussian matrix with the
+  /// phase convention R_ii > 0. Exact unitarity to rounding.
+  static Matrix random_unitary(std::size_t n, Rng& rng);
+
+  /// Random Hermitian (A + A^H)/2.
+  static Matrix random_hermitian(std::size_t n, Rng& rng);
+
+  /// Diagonal matrix from entries.
+  static Matrix diagonal(std::span<const complex_t> entries);
+
+  // --- elementwise / structural ops ----------------------------------
+
+  /// Conjugate transpose.
+  [[nodiscard]] Matrix dagger() const;
+
+  /// Plain transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this + other, this - other, scalar product.
+  [[nodiscard]] Matrix operator+(const Matrix& o) const;
+  [[nodiscard]] Matrix operator-(const Matrix& o) const;
+  [[nodiscard]] Matrix operator*(complex_t s) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// max_ij |this_ij - o_ij|.
+  [[nodiscard]] double max_abs_diff(const Matrix& o) const;
+
+  /// ||A^H A - I||_max — zero (to rounding) iff unitary.
+  [[nodiscard]] double unitarity_error() const;
+
+  /// max_ij |A_ij - conj(A_ji)|.
+  [[nodiscard]] double hermiticity_error() const;
+
+  /// Matrix-vector product y = A x (OpenMP over rows).
+  void matvec(std::span<const complex_t> x, std::span<complex_t> y) const;
+
+  /// Kronecker product (this ⊗ other) — the operator-construction rule
+  /// of the paper's Eq. (3); the test oracle for all gate kernels.
+  [[nodiscard]] Matrix kron(const Matrix& o) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  aligned_vector<complex_t> data_;
+};
+
+}  // namespace qc::linalg

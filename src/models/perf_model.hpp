@@ -1,0 +1,92 @@
+// Analytic performance models from the paper's §3.2 / §3.3.
+//
+// The paper models distributed FFT (emulated QFT) and gate-level QFT
+// simulation on a cluster:
+//
+//   Eq. 5:  T_FFT(n) = 5 N n / (Eff_FFT * FLOPS_peak) + 3 * 16 N / B_net
+//   Eq. 6:  T_QFT(n) = 4 N n^2 / B_mem + log2(P) * 16 N / B_net
+//
+// with N = 2^n, all bandwidth/flops quantities *aggregate* over the
+// P-node partition. These models generate the paper-scale (28-36 qubit,
+// up to 256 node) weak-scaling series for Figs. 3 & 4 that exceed this
+// machine's memory, clearly labelled "modeled" next to the measured
+// scaled-down runs. The same module provides the §3.3 QPE cost models
+// and the crossover-precision solvers behind Table 2's lower panel.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qc::models {
+
+/// Single-node machine characteristics. Aggregate quantities scale
+/// linearly with node count in the weak-scaling models.
+struct MachineParams {
+  double fft_gflops = 20.0;   ///< Achieved node-local FFT rate (Eff*peak), GF/s.
+  double b_mem_gbs = 40.0;    ///< Memory bandwidth per node, GB/s.
+  double b_net_gbs = 7.0;     ///< Injection bandwidth per node, GB/s (FDR 56 Gb/s).
+  double mem_per_node_gb = 32.0;
+
+  /// The Stampede node of the paper's §4.1 (values quoted in §4.3).
+  static MachineParams stampede() { return MachineParams{}; }
+
+  /// Parameters calibrated from this machine's measured rates (used to
+  /// sanity-check the models against local measurements).
+  static MachineParams local(double fft_gflops, double b_mem_gbs, double b_net_gbs);
+};
+
+/// Eq. 5: seconds for a distributed FFT of 2^n points on `nodes` nodes.
+double t_fft_seconds(qubit_t n, int nodes, const MachineParams& m);
+
+/// Eq. 6: seconds for a gate-level distributed QFT of n qubits.
+double t_qft_seconds(qubit_t n, int nodes, const MachineParams& m);
+
+/// One weak-scaling row of Fig. 3: qubits, nodes, both times, speedup.
+struct WeakScalingPoint {
+  qubit_t qubits = 0;
+  int nodes = 1;
+  double t_simulate = 0;
+  double t_emulate = 0;
+  [[nodiscard]] double speedup() const { return t_simulate / t_emulate; }
+};
+
+/// The paper's Fig. 3 series: local_qubits per node, scaling n over
+/// [n_min, n_max] with nodes = 2^(n - n_min).
+std::vector<WeakScalingPoint> fig3_series(qubit_t n_min, qubit_t n_max,
+                                          const MachineParams& m);
+
+// --- §3.3 QPE cost models ----------------------------------------------
+
+/// Costs of one n-qubit QPE to b bits, expressed through measured
+/// primitive times (the paper's Table 2 columns).
+struct QpeCosts {
+  double t_apply_u = 0;     ///< One gate-level application of U (2^n state).
+  double t_construct = 0;   ///< Dense-U construction.
+  double t_gemm = 0;        ///< One dense-U squaring.
+  double t_eig = 0;         ///< One eigendecomposition.
+};
+
+/// Total simulation time: U applied 2^b - 1 times.
+double qpe_simulate_seconds(const QpeCosts& c, unsigned bits);
+
+/// Total repeated-squaring emulation time: construct + b squarings.
+double qpe_repeated_squaring_seconds(const QpeCosts& c, unsigned bits);
+
+/// Total eigendecomposition emulation time: construct + one eig.
+double qpe_eigendecomposition_seconds(const QpeCosts& c, unsigned bits);
+
+/// Smallest b (bits of precision) at which an emulation strategy beats
+/// simulation — the paper's Table 2 lower panel. Returns 0 if emulation
+/// already wins at b = 1; `max_bits` caps the search.
+unsigned crossover_bits_repeated_squaring(const QpeCosts& c, unsigned max_bits = 64);
+unsigned crossover_bits_eigendecomposition(const QpeCosts& c, unsigned max_bits = 64);
+
+/// Asymptotic crossover rules quoted in §3.3 (b >= 2n for GEMM,
+/// b > (log2 7 - 1) n ~ 1.8n for Strassen, b > n for coherent QPE with
+/// eigendecomposition) — used by the Auto strategy heuristic.
+double asymptotic_crossover_gemm(qubit_t n);
+double asymptotic_crossover_strassen(qubit_t n);
+double asymptotic_crossover_eig_coherent(qubit_t n);
+
+}  // namespace qc::models

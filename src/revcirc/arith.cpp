@@ -1,0 +1,145 @@
+#include "revcirc/arith.hpp"
+
+#include <stdexcept>
+
+namespace qc::revcirc {
+
+using circuit::Circuit;
+
+Reg make_reg(qubit_t offset, qubit_t width) {
+  Reg r(width);
+  for (qubit_t i = 0; i < width; ++i) r[i] = offset + i;
+  return r;
+}
+
+namespace {
+
+/// CNOT(src, dst), optionally promoted to Toffoli(control, src, dst).
+/// Only gates that *write into the output register* take the control —
+/// the carry chain self-uncomputes, so conditioning it is unnecessary
+/// and would push gates to three controls.
+void cx(Circuit& c, qubit_t src, qubit_t dst, std::optional<qubit_t> control) {
+  if (control) {
+    c.toffoli(*control, src, dst);
+  } else {
+    c.cnot(src, dst);
+  }
+}
+
+// Cuccaro MAJ block on (carry_in, b_i, a_i).
+void maj(Circuit& c, qubit_t ci, qubit_t bi, qubit_t ai, std::optional<qubit_t> control) {
+  cx(c, ai, bi, control);  // b-writing gate: controlled
+  c.cnot(ai, ci);
+  c.toffoli(ci, bi, ai);
+}
+
+// Cuccaro UMA block (2-CNOT variant), inverse bookkeeping of MAJ.
+void uma(Circuit& c, qubit_t ci, qubit_t bi, qubit_t ai, std::optional<qubit_t> control) {
+  c.toffoli(ci, bi, ai);
+  c.cnot(ai, ci);
+  cx(c, ci, bi, control);  // b-writing gate: controlled
+}
+
+}  // namespace
+
+void cuccaro_add(Circuit& c, const Reg& a, const Reg& b, qubit_t carry_anc,
+                 std::optional<qubit_t> carry_out, std::optional<qubit_t> control) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("cuccaro_add: register widths must match and be nonzero");
+  const std::size_t w = a.size();
+
+  maj(c, carry_anc, b[0], a[0], control);
+  for (std::size_t i = 1; i < w; ++i) maj(c, a[i - 1], b[i], a[i], control);
+  if (carry_out) cx(c, a[w - 1], *carry_out, control);
+  for (std::size_t i = w; i-- > 1;) uma(c, a[i - 1], b[i], a[i], control);
+  uma(c, carry_anc, b[0], a[0], control);
+}
+
+void cuccaro_sub(Circuit& c, const Reg& a, const Reg& b, qubit_t carry_anc,
+                 std::optional<qubit_t> carry_out, std::optional<qubit_t> control) {
+  // Inverse network: build the adder into a scratch circuit of the same
+  // width and append its inverse (all constituent gates are self-inverse,
+  // so this reverses the order only).
+  Circuit scratch(c.qubits());
+  cuccaro_add(scratch, a, b, carry_anc, carry_out, control);
+  c.compose(scratch.inverse());
+}
+
+void multiply_accumulate(Circuit& c, const Reg& a, const Reg& b, const Reg& c_reg,
+                         qubit_t carry_anc) {
+  const std::size_t m = a.size();
+  if (b.size() != m || c_reg.size() != m)
+    throw std::invalid_argument("multiply_accumulate: widths must match");
+  // c += a_i ? (b << i) : 0, for each i — mod 2^m, so the shifted
+  // addition only involves the top m-i bits of c and the low m-i of b.
+  for (std::size_t i = 0; i < m; ++i) {
+    Reg b_lo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(m - i));
+    Reg c_hi(c_reg.begin() + static_cast<std::ptrdiff_t>(i), c_reg.end());
+    cuccaro_add(c, b_lo, c_hi, carry_anc, std::nullopt, a[i]);
+  }
+}
+
+void divide(Circuit& c, const Reg& y, const Reg& b, qubit_t b_pad, const Reg& q,
+            qubit_t borrow, qubit_t carry_anc) {
+  const std::size_t m = b.size();
+  if (y.size() != 2 * m + 1 || q.size() != m)
+    throw std::invalid_argument("divide: y needs 2m+1 qubits and q needs m");
+  // Zero-extended divisor (m+1 bits) so the trial subtraction window can
+  // hold 2R + a_i < 2^{m+1}.
+  Reg b_ext = b;
+  b_ext.push_back(b_pad);
+
+  for (std::size_t i = m; i-- > 0;) {
+    // Window w_i = y[i .. i+m+1) holds 2R + a_i by the restoring-division
+    // invariant (R = previous partial remainder, R < b).
+    Reg window(y.begin() + static_cast<std::ptrdiff_t>(i),
+               y.begin() + static_cast<std::ptrdiff_t>(i + m + 1));
+    // Trial subtraction; borrow <- 1 iff window < b.
+    cuccaro_sub(c, b_ext, window, carry_anc, borrow);
+    // Restore on failure (borrow == 1).
+    cuccaro_add(c, b_ext, window, carry_anc, std::nullopt, borrow);
+    // q_i = NOT borrow, then clear borrow using q_i.
+    c.x(q[i]);
+    c.cnot(borrow, q[i]);
+    c.x(borrow);
+    c.cnot(q[i], borrow);
+  }
+}
+
+MulLayout MulLayout::make(qubit_t m) {
+  MulLayout l;
+  l.m = m;
+  l.a = make_reg(0, m);
+  l.b = make_reg(m, m);
+  l.c = make_reg(2 * m, m);
+  l.carry = 3 * m;
+  return l;
+}
+
+circuit::Circuit multiplier_circuit(qubit_t m) {
+  const MulLayout l = MulLayout::make(m);
+  Circuit c(l.total_qubits());
+  multiply_accumulate(c, l.a, l.b, l.c, l.carry);
+  return c;
+}
+
+DivLayout DivLayout::make(qubit_t m) {
+  DivLayout l;
+  l.m = m;
+  l.y = make_reg(0, 2 * m + 1);
+  l.b = make_reg(2 * m + 1, m);
+  l.q = make_reg(3 * m + 1, m);
+  l.b_pad = 4 * m + 1;
+  l.borrow = 4 * m + 2;
+  l.carry = 4 * m + 3;
+  return l;
+}
+
+circuit::Circuit divider_circuit(qubit_t m) {
+  const DivLayout l = DivLayout::make(m);
+  Circuit c(l.total_qubits());
+  divide(c, l.y, l.b, l.b_pad, l.q, l.borrow, l.carry);
+  return c;
+}
+
+}  // namespace qc::revcirc

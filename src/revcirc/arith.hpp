@@ -1,0 +1,92 @@
+// Reversible arithmetic circuits — the simulation side of the paper's
+// §3.1 / Figs. 1 & 2.
+//
+// The emulator evaluates a multiplication or division directly per basis
+// state; a simulator must execute the reversible network the operation
+// compiles to. This module builds those networks from scratch:
+//
+//  * the Cuccaro/Draper/Kutin/Moulton ripple-carry adder (MAJ/UMA,
+//    reference [12] of the paper), plain and controlled, with optional
+//    carry-out;
+//  * a shift-and-add multiplier  (a, b, c) -> (a, b, c + a*b mod 2^m),
+//    the paper's "repeated-addition-and-shift approach";
+//  * a restoring divider        (a, b, 0) -> (a mod b, b, a div b),
+//    the "repeated-subtraction-and-shift approach" whose overflow-test
+//    work qubits give Fig. 2 its extra exponential simulation cost.
+//
+// Registers are arbitrary qubit-index lists (little-endian: element 0 is
+// the least-significant bit), so the divider can slide its subtraction
+// window without physical shifts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qc::revcirc {
+
+/// Little-endian register: reg[i] is the qubit holding bit i.
+using Reg = std::vector<qubit_t>;
+
+/// Contiguous register [offset, offset+width).
+Reg make_reg(qubit_t offset, qubit_t width);
+
+/// Appends the Cuccaro ripple-carry adder: b += a (mod 2^w), where
+/// w = |a| = |b|. `carry_anc` must be |0> and is restored. If
+/// `carry_out` is given, it is XORed with the addition's carry-out.
+/// With `control`, the whole operation is conditioned on that qubit
+/// (adds one control to the b-writing gates only; every gate stays
+/// within two controls).
+void cuccaro_add(circuit::Circuit& c, const Reg& a, const Reg& b, qubit_t carry_anc,
+                 std::optional<qubit_t> carry_out = {},
+                 std::optional<qubit_t> control = {});
+
+/// Appends b -= a (mod 2^w): the exact inverse network of cuccaro_add.
+/// If `carry_out` is given it is XORed with the *borrow* (1 iff b < a
+/// before subtraction).
+void cuccaro_sub(circuit::Circuit& c, const Reg& a, const Reg& b, qubit_t carry_anc,
+                 std::optional<qubit_t> carry_out = {},
+                 std::optional<qubit_t> control = {});
+
+/// Appends the shift-and-add multiplier: c_reg += a*b mod 2^m where
+/// m = |a| = |b| = |c_reg|. `carry_anc` must be |0>, restored.
+void multiply_accumulate(circuit::Circuit& c, const Reg& a, const Reg& b, const Reg& c_reg,
+                         qubit_t carry_anc);
+
+/// Appends the restoring divider. `y` has 2m+1 qubits: y[0..m) holds the
+/// dividend a on entry and the remainder a mod b on exit; y[m..2m+1)
+/// must be |0> and is restored. `b` (m qubits) is the divisor,
+/// `b_pad` a |0> qubit zero-extending it. `q` (m qubits, |0> on entry)
+/// receives a div b. `borrow` and `carry_anc` are |0> work qubits,
+/// restored. Convention for b = 0: q = 2^m - 1 and remainder = a (every
+/// trial subtraction of zero "succeeds").
+void divide(circuit::Circuit& c, const Reg& y, const Reg& b, qubit_t b_pad, const Reg& q,
+            qubit_t borrow, qubit_t carry_anc);
+
+// --- standard layouts used by the Fig. 1 / Fig. 2 benches -------------
+
+/// Multiplier on 3m+1 qubits: a = [0, m), b = [m, 2m), c = [2m, 3m),
+/// carry ancilla = 3m. Realizes (a, b, c) -> (a, b, c + a*b mod 2^m).
+struct MulLayout {
+  qubit_t m = 0;
+  Reg a, b, c;
+  qubit_t carry = 0;
+  [[nodiscard]] qubit_t total_qubits() const noexcept { return 3 * m + 1; }
+  static MulLayout make(qubit_t m);
+};
+circuit::Circuit multiplier_circuit(qubit_t m);
+
+/// Divider on 4m+4 qubits: y = [0, 2m+1) (dividend in y[0..m)),
+/// b = [2m+1, 3m+1), q = [3m+1, 4m+1), b_pad = 4m+1, borrow = 4m+2,
+/// carry = 4m+3. Realizes (a, b, 0) -> (a mod b, b, a div b).
+struct DivLayout {
+  qubit_t m = 0;
+  Reg y, b, q;
+  qubit_t b_pad = 0, borrow = 0, carry = 0;
+  [[nodiscard]] qubit_t total_qubits() const noexcept { return 4 * m + 4; }
+  static DivLayout make(qubit_t m);
+};
+circuit::Circuit divider_circuit(qubit_t m);
+
+}  // namespace qc::revcirc

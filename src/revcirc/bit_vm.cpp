@@ -1,0 +1,43 @@
+#include "revcirc/bit_vm.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace qc::revcirc {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+index_t BitVm::apply(index_t state, const Gate& g) {
+  index_t cmask = 0;
+  for (qubit_t c : g.controls) cmask = bits::set(cmask, c);
+  if ((state & cmask) != cmask) return state;
+  switch (g.kind) {
+    case GateKind::X:
+      return bits::flip(state, g.targets[0]);
+    case GateKind::Swap: {
+      const index_t va = bits::get(state, g.targets[0]);
+      const index_t vb = bits::get(state, g.targets[1]);
+      if (va == vb) return state;
+      state = bits::flip(state, g.targets[0]);
+      return bits::flip(state, g.targets[1]);
+    }
+    default:
+      throw std::invalid_argument("BitVm: non-classical gate " + g.to_string());
+  }
+}
+
+index_t BitVm::run(const circuit::Circuit& c, index_t input) {
+  index_t s = input;
+  for (const Gate& g : c.gates()) s = apply(s, g);
+  return s;
+}
+
+bool BitVm::is_classical(const circuit::Circuit& c) {
+  for (const Gate& g : c.gates())
+    if (g.kind != GateKind::X && g.kind != GateKind::Swap) return false;
+  return true;
+}
+
+}  // namespace qc::revcirc

@@ -1,0 +1,28 @@
+// Classical reversible virtual machine.
+//
+// Reversible arithmetic networks (NOT/CNOT/Toffoli/SWAP) act as
+// permutations of computational basis states, so their behaviour is
+// fully determined by classical bit-level execution. BitVm runs such a
+// circuit on a plain 64-bit word — 2^n times cheaper than a state-vector
+// simulation — which lets the test suite verify adders, multipliers and
+// dividers exhaustively at widths far beyond what amplitudes allow.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qc::revcirc {
+
+class BitVm {
+ public:
+  /// Applies one classical gate (X with any number of controls, or SWAP)
+  /// to `state`. Throws std::invalid_argument for non-classical gates.
+  static index_t apply(index_t state, const circuit::Gate& g);
+
+  /// Runs the whole circuit on the given basis state.
+  static index_t run(const circuit::Circuit& c, index_t input);
+
+  /// True if every gate of `c` is classical (executable by this VM).
+  static bool is_classical(const circuit::Circuit& c);
+};
+
+}  // namespace qc::revcirc

@@ -1,0 +1,163 @@
+#include "revcirc/modular.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/builders.hpp"
+#include "common/bits.hpp"
+
+namespace qc::revcirc {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+index_t mod_inverse(index_t a, index_t modulus) {
+  if (modulus == 0) throw std::invalid_argument("mod_inverse: zero modulus");
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(modulus);
+  std::int64_t new_r = static_cast<std::int64_t>(a % modulus);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  if (r != 1) throw std::invalid_argument("mod_inverse: not invertible");
+  if (t < 0) t += static_cast<std::int64_t>(modulus);
+  return static_cast<index_t>(t);
+}
+
+void qft_on_reg(Circuit& c, const Reg& reg) {
+  c.compose_mapped(circuit::qft(static_cast<qubit_t>(reg.size())), reg);
+}
+
+void inverse_qft_on_reg(Circuit& c, const Reg& reg) {
+  c.compose_mapped(circuit::inverse_qft(static_cast<qubit_t>(reg.size())), reg);
+}
+
+void phi_add_const(Circuit& c, const Reg& b, index_t a,
+                   const std::vector<qubit_t>& controls) {
+  // In Fourier space |phi(b)> has amplitude e^{2 pi i b l / 2^w} on |l>;
+  // adding `a` multiplies the |l> amplitude by e^{2 pi i a l / 2^w},
+  // which factorizes into one phase gate per qubit: qubit j contributes
+  // e^{2 pi i a 2^j / 2^w} when set.
+  const std::size_t w = b.size();
+  const double base = 2.0 * std::numbers::pi / std::ldexp(1.0, static_cast<int>(w));
+  for (std::size_t j = 0; j < w; ++j) {
+    const double angle =
+        base * static_cast<double>(a % (index_t{1} << w)) * std::ldexp(1.0, static_cast<int>(j));
+    // Reduce to (-2pi, 2pi) for numeric hygiene; the gate is periodic.
+    const double reduced = std::remainder(angle, 2.0 * std::numbers::pi);
+    if (reduced == 0.0) continue;
+    Gate g = circuit::make_gate(GateKind::Phase, b[j], reduced);
+    g.controls = controls;
+    c.append(std::move(g));
+  }
+}
+
+void phi_sub_const(Circuit& c, const Reg& b, index_t a,
+                   const std::vector<qubit_t>& controls) {
+  const std::size_t w = b.size();
+  const index_t mask = bits::low_mask(static_cast<qubit_t>(w));
+  phi_add_const(c, b, ((index_t{1} << w) - (a & mask)) & mask, controls);
+}
+
+void add_const_via_qft(Circuit& c, const Reg& b, index_t a,
+                       const std::vector<qubit_t>& controls) {
+  qft_on_reg(c, b);
+  phi_add_const(c, b, a, controls);
+  inverse_qft_on_reg(c, b);
+}
+
+void phi_add_const_mod(Circuit& c, const Reg& b, index_t a, index_t modulus,
+                       qubit_t zero_anc, const std::vector<qubit_t>& controls) {
+  const std::size_t w1 = b.size();  // w + 1 with the overflow qubit on top
+  if (w1 < 2) throw std::invalid_argument("phi_add_const_mod: register too narrow");
+  if (modulus == 0 || modulus > (index_t{1} << (w1 - 1)))
+    throw std::invalid_argument("phi_add_const_mod: modulus out of range");
+  a %= modulus;
+  const qubit_t msb = b.back();
+
+  // Beauregard's seven steps. The trial subtraction of N may wrap
+  // negative; the overflow qubit's sign bit drives the restore, and the
+  // final comparison uncomputes the ancilla.
+  phi_add_const(c, b, a, controls);                       // 1: b += a (ctl)
+  phi_sub_const(c, b, modulus);                           // 2: b -= N
+  inverse_qft_on_reg(c, b);                               // 3: sign -> anc
+  c.cnot(msb, zero_anc);
+  qft_on_reg(c, b);
+  phi_add_const(c, b, modulus, {zero_anc});               // 4: restore if negative
+  phi_sub_const(c, b, a, controls);                       // 5: b -= a (ctl)
+  inverse_qft_on_reg(c, b);                               // 6: uncompute anc
+  c.x(msb);
+  c.cnot(msb, zero_anc);
+  c.x(msb);
+  qft_on_reg(c, b);
+  phi_add_const(c, b, a, controls);                       // 7: b += a (ctl)
+}
+
+void cmult_mod(Circuit& c, qubit_t control, const Reg& x, const Reg& b, index_t a,
+               index_t modulus, qubit_t zero_anc) {
+  if (b.size() != x.size() + 1)
+    throw std::invalid_argument("cmult_mod: accumulator must be one qubit wider");
+  qft_on_reg(c, b);
+  // b += sum_j x_j * (a 2^j mod N) mod N, each term doubly controlled
+  // on (control, x_j).
+  index_t term = a % modulus;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    phi_add_const_mod(c, b, term, modulus, zero_anc, {control, x[j]});
+    term = term * 2 % modulus;
+  }
+  inverse_qft_on_reg(c, b);
+}
+
+void controlled_modmul(Circuit& c, qubit_t control, const Reg& x, const Reg& b, index_t a,
+                       index_t modulus, qubit_t zero_anc) {
+  if (std::gcd(a % modulus, modulus) != 1)
+    throw std::invalid_argument("controlled_modmul: a not invertible mod N");
+  // |x>|0> --CMULT(a)--> |x>|a x>  --cswap--> |a x>|x>
+  //        --CMULT(a^-1)^dagger--> |a x>|0>.
+  cmult_mod(c, control, x, b, a, modulus, zero_anc);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    Gate g = circuit::make_swap(x[j], b[j]);
+    g.controls = {control};
+    c.append(std::move(g));
+  }
+  Circuit inverse_part(c.qubits());
+  cmult_mod(inverse_part, control, x, b, mod_inverse(a, modulus), modulus, zero_anc);
+  c.compose(inverse_part.inverse());
+}
+
+void modexp(Circuit& c, const Reg& exponent, const Reg& x, const Reg& b, index_t a,
+            index_t modulus, qubit_t zero_anc) {
+  index_t factor = a % modulus;
+  for (const qubit_t e_bit : exponent) {
+    controlled_modmul(c, e_bit, x, b, factor, modulus, zero_anc);
+    factor = factor * factor % modulus;
+  }
+}
+
+ShorLayout ShorLayout::make(qubit_t t_bits, index_t modulus) {
+  ShorLayout l;
+  l.t = t_bits;
+  l.w = 1;
+  while (dim(l.w) < modulus) ++l.w;
+  l.exponent = make_reg(0, l.t);
+  l.x = make_reg(l.t, l.w);
+  l.b = make_reg(l.t + l.w, l.w + 1);
+  l.anc = l.t + 2 * l.w + 1;
+  return l;
+}
+
+Circuit order_finding_circuit(const ShorLayout& layout, index_t a, index_t modulus) {
+  Circuit c(layout.total_qubits());
+  for (const qubit_t q : layout.exponent) c.h(q);
+  c.x(layout.x[0]);  // work register starts at |1>
+  modexp(c, layout.exponent, layout.x, layout.b, a, modulus, layout.anc);
+  return c;
+}
+
+}  // namespace qc::revcirc

@@ -1,0 +1,89 @@
+// Quantum modular arithmetic (Beauregard, quant-ph/0205095 — the
+// paper's reference [16]).
+//
+// The gate-level counterpart of the emulator's modular shortcuts: Shor's
+// order finding needs |e>|1> -> |e>|a^e mod N>, which compiles to a
+// cascade of controlled modular multiplications built from Draper
+// QFT-adders. These circuits mix QFTs with (multi-)controlled phase
+// gates, so — unlike the Cuccaro networks in arith.hpp — they are not
+// classical and are verified against the emulator on state vectors
+// instead of the BitVm.
+//
+// Conventions: registers little-endian; the accumulator register `b` has
+// w+1 qubits (one overflow qubit above the w value bits); "phi" routines
+// assume their target is already in Fourier space (qft applied, natural
+// bit order per paper Eq. 4).
+#pragma once
+
+#include <optional>
+
+#include "revcirc/arith.hpp"
+
+namespace qc::revcirc {
+
+/// Classical modular inverse via extended Euclid. Throws if gcd != 1.
+index_t mod_inverse(index_t a, index_t modulus);
+
+/// Appends the QFT over `reg` (natural order, the emulator's Eq. 4
+/// convention) mapped onto arbitrary qubit labels.
+void qft_on_reg(circuit::Circuit& c, const Reg& reg);
+void inverse_qft_on_reg(circuit::Circuit& c, const Reg& reg);
+
+/// Draper adder in Fourier space: |phi(b)> -> |phi(b + a mod 2^w)>.
+/// One phase gate per qubit; `controls` (0..2 qubits) condition the
+/// whole addition.
+void phi_add_const(circuit::Circuit& c, const Reg& b, index_t a,
+                   const std::vector<qubit_t>& controls = {});
+
+/// Inverse (subtraction): |phi(b)> -> |phi(b - a mod 2^w)>.
+void phi_sub_const(circuit::Circuit& c, const Reg& b, index_t a,
+                   const std::vector<qubit_t>& controls = {});
+
+/// Convenience: QFT + phi_add_const + inverse QFT (computational basis
+/// in and out): b += a mod 2^w.
+void add_const_via_qft(circuit::Circuit& c, const Reg& b, index_t a,
+                       const std::vector<qubit_t>& controls = {});
+
+/// Beauregard's modular adder in Fourier space:
+/// |phi(b)> -> |phi((b + a) mod N)> for 0 <= b < N, 0 <= a < N.
+/// `b` has w+1 qubits (overflow qubit on top, |0> outside the block);
+/// `zero_anc` is a |0> comparator ancilla, restored. `controls`
+/// condition the addition (the comparator machinery always runs).
+void phi_add_const_mod(circuit::Circuit& c, const Reg& b, index_t a, index_t modulus,
+                       qubit_t zero_anc, const std::vector<qubit_t>& controls = {});
+
+/// Controlled modular multiply-accumulate (Beauregard's CMULT):
+/// b += a * x mod N when `control` is set (b unchanged otherwise).
+/// `x` has w qubits (x < N required), `b` has w+1 (any value < N).
+void cmult_mod(circuit::Circuit& c, qubit_t control, const Reg& x, const Reg& b, index_t a,
+               index_t modulus, qubit_t zero_anc);
+
+/// In-place controlled modular multiplication:
+/// |x>|0> -> |a x mod N>|0> when `control` is set. Requires gcd(a,N)=1
+/// and x < N. `b` (w+1 qubits) and `zero_anc` are |0>-in/|0>-out.
+void controlled_modmul(circuit::Circuit& c, qubit_t control, const Reg& x, const Reg& b,
+                       index_t a, index_t modulus, qubit_t zero_anc);
+
+/// Full modular exponentiation |e>|1>|0...> -> |e>|a^e mod N>|0...>:
+/// one controlled_modmul by a^(2^j) per exponent bit j — the circuit a
+/// simulator must execute where the emulator applies one permutation.
+void modexp(circuit::Circuit& c, const Reg& exponent, const Reg& x, const Reg& b,
+            index_t a, index_t modulus, qubit_t zero_anc);
+
+/// Standard layout for an order-finding circuit on t + 2w + 2 qubits:
+/// exponent = [0, t), x = [t, t+w), b = [t+w, t+2w+1), anc = t+2w+1.
+struct ShorLayout {
+  qubit_t t = 0;  ///< exponent width
+  qubit_t w = 0;  ///< value width (ceil log2 N)
+  Reg exponent, x, b;
+  qubit_t anc = 0;
+  [[nodiscard]] qubit_t total_qubits() const noexcept { return t + 2 * w + 2; }
+  static ShorLayout make(qubit_t t_bits, index_t modulus);
+};
+
+/// The complete order-finding circuit body (without the final inverse
+/// QFT on the exponent register): Hadamards on the exponent, X on x[0]
+/// (prepares |1>), then modexp.
+circuit::Circuit order_finding_circuit(const ShorLayout& layout, index_t a, index_t modulus);
+
+}  // namespace qc::revcirc

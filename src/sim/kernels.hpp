@@ -1,0 +1,143 @@
+// Gate-application kernels on raw amplitude arrays.
+//
+// Three tiers, matching the three simulators the paper benchmarks
+// against each other (§4.5):
+//
+//  * generic_masked — the unspecialized kernel: traverses every
+//    (target=0, target=1) amplitude pair, checks the control mask per
+//    pair, and performs the full 2x2 complex multiply even for diagonal
+//    or permutation gates. LiquidLike uses it single-threaded,
+//    QhipsterLike uses it with OpenMP.
+//
+//  * folded / diagonal / x fast paths — "our simulator": enumerate only
+//    the amplitudes a gate actually changes. A controlled phase shift
+//    touches a quarter of the state vector (the paper's §3.2 counts
+//    exactly this), a NOT is a pure swap with zero flops, and controls
+//    fold into the index enumeration instead of a per-pair branch.
+//
+//  * fused diagonal runs — consecutive diagonal gates commute and can be
+//    applied in a single memory sweep; exposed for the ablation bench.
+//
+// All kernels are race-free under OpenMP: iteration index j maps to a
+// unique amplitude (pair), so static scheduling partitions memory
+// disjointly.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+#include "common/types.hpp"
+
+namespace qc::sim::kernels {
+
+/// Dense 2x2 unitary block, row-major.
+struct U2 {
+  complex_t m00, m01, m10, m11;
+};
+
+/// Expands a compressed index to a full basis index by re-inserting 0
+/// bits at the given (ascending) positions. Enumerating j in
+/// [0, 2^{n-k}) and expanding visits every index whose k special bits
+/// are 0 exactly once.
+class BitExpander {
+ public:
+  BitExpander() = default;
+
+  /// `positions` must be strictly ascending qubit labels.
+  explicit BitExpander(std::span<const qubit_t> positions) : count_(positions.size()) {
+    assert(positions.size() <= pos_.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) pos_[i] = positions[i];
+  }
+
+  [[nodiscard]] index_t operator()(index_t j) const noexcept {
+    index_t r = j;
+    for (std::size_t i = 0; i < count_; ++i) r = bits::insert_bit(r, pos_[i]);
+    return r;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::array<qubit_t, 16> pos_{};
+  std::size_t count_ = 0;
+};
+
+/// Sorted list of the set bits of `mask` plus optionally extra bits.
+std::vector<qubit_t> sorted_bit_positions(index_t mask, std::initializer_list<qubit_t> extra = {});
+
+// ---------------------------------------------------------------------
+// Unspecialized tier.
+// ---------------------------------------------------------------------
+
+/// Full pair traversal with per-pair control check and dense 2x2 math.
+/// `parallel` selects OpenMP (QhipsterLike) vs serial (LiquidLike).
+void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
+                          const U2& u, bool parallel);
+
+// ---------------------------------------------------------------------
+// Specialized tier ("our simulator").
+// ---------------------------------------------------------------------
+
+/// Control-folded dense 2x2: enumerates only pairs whose controls are
+/// satisfied (2^{n-1-c} pairs instead of 2^{n-1}).
+void apply_folded(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask, const U2& u);
+
+/// Diagonal gate diag(d0, d1) on `target`, controls folded. If d0 == 1
+/// (Z, S, T, R(theta)/CR) only the target=1, controls=1 quarter/half is
+/// touched; otherwise a single in-place sweep of the controls=1 part.
+void apply_diagonal(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
+                    complex_t d1, index_t cmask);
+
+/// NOT/CNOT/Toffoli as a pure amplitude swap (no flops), controls folded.
+void apply_x(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask);
+
+/// SWAP gate: exchanges amplitudes where the two target bits differ.
+void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index_t cmask);
+
+// ---------------------------------------------------------------------
+// Fusion tier.
+// ---------------------------------------------------------------------
+
+/// One gate of a fused diagonal run.
+struct DiagonalTerm {
+  qubit_t target = 0;
+  index_t cmask = 0;
+  complex_t d0{1.0}, d1{1.0};
+};
+
+/// Applies a run of diagonal gates in a single sweep: each amplitude is
+/// multiplied by the product of its per-gate factors. One memory pass
+/// instead of terms.size() passes — the memory-bound win measured by the
+/// ablation bench.
+void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms);
+
+// ---------------------------------------------------------------------
+// Permutation / phase templates (inlined per callsite; used by the
+// emulator's classical-function shortcut and by tests).
+// ---------------------------------------------------------------------
+
+/// Permutes amplitudes: new[f(i)] = old[i]. `f` must be a bijection on
+/// [0, a.size()); scratch must be the same size as a.
+template <typename F>
+void apply_permutation(std::span<complex_t> a, std::span<complex_t> scratch, F&& f) {
+  assert(scratch.size() == a.size());
+  const index_t size = a.size();
+#pragma omp parallel for if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) scratch[f(i)] = a[i];
+#pragma omp parallel for if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) a[i] = scratch[i];
+}
+
+/// Multiplies each amplitude by a per-index factor: a[i] *= f(i).
+template <typename F>
+void apply_phase_oracle(std::span<complex_t> a, F&& f) {
+  const index_t size = a.size();
+#pragma omp parallel for if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) a[i] *= f(i);
+}
+
+}  // namespace qc::sim::kernels

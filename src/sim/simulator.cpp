@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace qc::sim {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+index_t control_mask(const Gate& g) {
+  index_t m = 0;
+  for (qubit_t c : g.controls) m = bits::set(m, c);
+  return m;
+}
+
+kernels::U2 target_block(const Gate& g) {
+  if (g.kind == GateKind::Swap) throw std::invalid_argument("target_block: SWAP has no 2x2 block");
+  const linalg::Matrix m = gate_block_matrix(g);
+  return {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+}
+
+std::pair<complex_t, complex_t> diagonal_entries(const Gate& g) {
+  if (!g.diagonal()) throw std::invalid_argument("diagonal_entries: gate is not diagonal");
+  const linalg::Matrix m = gate_block_matrix(g);
+  return {m(0, 0), m(1, 1)};
+}
+
+void Simulator::run(StateVector& sv, const circuit::Circuit& c) const {
+  if (c.qubits() != sv.qubits()) throw std::invalid_argument("run: qubit count mismatch");
+  for (const Gate& g : c.gates()) apply_gate(sv, g);
+}
+
+namespace {
+
+/// Lowers SWAP to three CNOTs through the generic kernel — what an
+/// unspecialized simulator does.
+void generic_apply(StateVector& sv, const Gate& g, bool parallel) {
+  const auto a = sv.amplitudes();
+  if (g.kind == GateKind::Swap) {
+    const qubit_t qa = g.targets[0], qb = g.targets[1];
+    const index_t cmask = control_mask(g);
+    const kernels::U2 x{0.0, 1.0, 1.0, 0.0};
+    kernels::apply_generic_masked(a, sv.qubits(), qb, cmask | (index_t{1} << qa), x, parallel);
+    kernels::apply_generic_masked(a, sv.qubits(), qa, cmask | (index_t{1} << qb), x, parallel);
+    kernels::apply_generic_masked(a, sv.qubits(), qb, cmask | (index_t{1} << qa), x, parallel);
+    return;
+  }
+  kernels::apply_generic_masked(a, sv.qubits(), g.targets[0], control_mask(g), target_block(g),
+                                parallel);
+}
+
+}  // namespace
+
+void LiquidLikeSimulator::apply_gate(StateVector& sv, const Gate& g) const {
+  generic_apply(sv, g, /*parallel=*/false);
+}
+
+void QhipsterLikeSimulator::apply_gate(StateVector& sv, const Gate& g) const {
+  generic_apply(sv, g, /*parallel=*/true);
+}
+
+void HpcSimulator::apply_gate(StateVector& sv, const Gate& g) const {
+  const auto a = sv.amplitudes();
+  const qubit_t n = sv.qubits();
+  const index_t cmask = control_mask(g);
+  if (g.kind == GateKind::Swap) {
+    kernels::apply_swap(a, n, g.targets[0], g.targets[1], cmask);
+    return;
+  }
+  const qubit_t t = g.targets[0];
+  if (g.kind == GateKind::X) {
+    kernels::apply_x(a, n, t, cmask);
+    return;
+  }
+  if (g.diagonal()) {
+    const auto [d0, d1] = diagonal_entries(g);
+    kernels::apply_diagonal(a, n, t, d0, d1, cmask);
+    return;
+  }
+  kernels::apply_folded(a, n, t, cmask, target_block(g));
+}
+
+void HpcSimulator::run(StateVector& sv, const circuit::Circuit& c) const {
+  if (c.qubits() != sv.qubits()) throw std::invalid_argument("run: qubit count mismatch");
+  const auto& gates = c.gates();
+  if (!opts_.fuse_diagonal_runs) {
+    for (const Gate& g : gates) apply_gate(sv, g);
+    return;
+  }
+  // Peephole: collect maximal runs of diagonal gates (they all commute)
+  // and apply each run in one sweep.
+  std::vector<kernels::DiagonalTerm> run_terms;
+  std::size_t i = 0;
+  while (i < gates.size()) {
+    if (!gates[i].diagonal()) {
+      apply_gate(sv, gates[i]);
+      ++i;
+      continue;
+    }
+    run_terms.clear();
+    while (i < gates.size() && gates[i].diagonal() &&
+           run_terms.size() < opts_.max_fused_terms) {
+      const auto [d0, d1] = diagonal_entries(gates[i]);
+      run_terms.push_back({gates[i].targets[0], control_mask(gates[i]), d0, d1});
+      ++i;
+    }
+    if (run_terms.size() == 1) {
+      kernels::apply_diagonal(sv.amplitudes(), sv.qubits(), run_terms[0].target,
+                              run_terms[0].d0, run_terms[0].d1, run_terms[0].cmask);
+    } else {
+      kernels::apply_fused_diagonal(sv.amplitudes(), run_terms);
+    }
+  }
+}
+
+std::unique_ptr<Simulator> make_simulator(const std::string& name) {
+  if (name == "hpc") return std::make_unique<HpcSimulator>();
+  if (name == "qhipster-like") return std::make_unique<QhipsterLikeSimulator>();
+  if (name == "liquid-like") return std::make_unique<LiquidLikeSimulator>();
+  throw std::invalid_argument("make_simulator: unknown simulator '" + name + "'");
+}
+
+}  // namespace qc::sim

@@ -1,0 +1,93 @@
+// The three gate-level simulators benchmarked in the paper's §4.5.
+//
+//  * HpcSimulator — "our simulator": control-folded enumeration, diagonal
+//    and NOT fast paths, native SWAP kernel, optional fusion of diagonal
+//    runs. This is the baseline the emulator's speedups are measured
+//    against (so those speedups are not artifacts of a slow simulator —
+//    the point of the paper's Figs. 4-6).
+//
+//  * QhipsterLikeSimulator — stands in for qHiPSTER: a well-parallelized
+//    but unspecialized simulator. Every gate runs through the generic
+//    masked 2x2 pair kernel (full read+write of the state vector even
+//    for diagonal gates); SWAP is lowered to three CNOTs.
+//
+//  * LiquidLikeSimulator — stands in for LIQUi|>: the same generic
+//    kernel, single-threaded. (LIQUi|> is closed-source .NET; this
+//    models "correct but unspecialized, non-parallel" — see DESIGN.md
+//    for the substitution rationale.)
+//
+// All three produce identical states to 1e-12 on identical circuits;
+// the test suite enforces it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "sim/kernels.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qc::sim {
+
+/// OR of the control bits of a gate.
+[[nodiscard]] index_t control_mask(const circuit::Gate& g);
+
+/// The 2x2 target block of a non-SWAP gate as a kernel U2.
+[[nodiscard]] kernels::U2 target_block(const circuit::Gate& g);
+
+/// Diagonal entries (d0, d1) of a diagonal gate's target block.
+[[nodiscard]] std::pair<complex_t, complex_t> diagonal_entries(const circuit::Gate& g);
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Applies one gate to the state.
+  virtual void apply_gate(StateVector& sv, const circuit::Gate& g) const = 0;
+
+  /// Applies a whole circuit (overridable for cross-gate optimization).
+  virtual void run(StateVector& sv, const circuit::Circuit& c) const;
+};
+
+class LiquidLikeSimulator final : public Simulator {
+ public:
+  [[nodiscard]] std::string name() const override { return "liquid-like"; }
+  void apply_gate(StateVector& sv, const circuit::Gate& g) const override;
+};
+
+class QhipsterLikeSimulator final : public Simulator {
+ public:
+  [[nodiscard]] std::string name() const override { return "qhipster-like"; }
+  void apply_gate(StateVector& sv, const circuit::Gate& g) const override;
+};
+
+class HpcSimulator final : public Simulator {
+ public:
+  struct Options {
+    /// Fuse maximal runs of consecutive diagonal gates into one sweep.
+    /// Off by default: the paper's simulator applies gates one by one;
+    /// fusion is quantified separately by the ablation bench.
+    bool fuse_diagonal_runs = false;
+    /// Cap on gates per fused sweep. Fusion trades memory passes for
+    /// per-amplitude work; beyond ~8 terms the sweep turns compute
+    /// bound and loses (measured by bench/ablation_kernels).
+    std::size_t max_fused_terms = 8;
+  };
+
+  HpcSimulator() = default;
+  explicit HpcSimulator(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "hpc"; }
+  void apply_gate(StateVector& sv, const circuit::Gate& g) const override;
+  void run(StateVector& sv, const circuit::Circuit& c) const override;
+
+ private:
+  Options opts_;
+};
+
+/// Factory by name ("hpc", "qhipster-like", "liquid-like") for benches.
+std::unique_ptr<Simulator> make_simulator(const std::string& name);
+
+}  // namespace qc::sim

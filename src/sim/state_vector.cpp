@@ -1,0 +1,165 @@
+#include "sim/state_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace qc::sim {
+
+StateVector::StateVector(qubit_t n_qubits) : n_(n_qubits), data_(dim(n_qubits)) {
+  data_[0] = 1.0;
+}
+
+void StateVector::set_basis(index_t i) {
+  if (i >= size()) throw std::invalid_argument("set_basis: index out of range");
+  std::fill(data_.begin(), data_.end(), complex_t{});
+  data_[i] = 1.0;
+}
+
+void StateVector::randomize(Rng& rng) {
+  // Per-thread forked streams keep the fill deterministic regardless of
+  // the thread count: thread t owns a contiguous slab and its own stream.
+  const index_t n = size();
+  const int threads = max_threads();
+  const index_t slab = (n + threads - 1) / threads;
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = thread_id();
+    Rng local = rng.fork(static_cast<std::uint64_t>(t));
+    const index_t lo = std::min<index_t>(static_cast<index_t>(t) * slab, n);
+    const index_t hi = std::min<index_t>(lo + slab, n);
+    for (index_t i = lo; i < hi; ++i) data_[i] = local.normal_complex();
+  }
+  normalize();
+}
+
+void StateVector::randomize_deterministic(std::uint64_t seed) {
+  fill_random_slabs(amplitudes(), 0, seed);
+  normalize();
+}
+
+double StateVector::norm_sq() const {
+  double sum = 0;
+#pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i) sum += std::norm(data_[i]);
+  return sum;
+}
+
+void StateVector::normalize() {
+  const double n2 = norm_sq();
+  if (n2 <= 0) throw std::runtime_error("normalize: zero state");
+  const double f = 1.0 / std::sqrt(n2);
+#pragma omp parallel for if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i) data_[i] *= f;
+}
+
+double StateVector::overlap_abs(const StateVector& other) const {
+  if (other.n_ != n_) throw std::invalid_argument("overlap: qubit count mismatch");
+  double re = 0, im = 0;
+#pragma omp parallel for reduction(+ : re, im) if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i) {
+    const complex_t p = std::conj(data_[i]) * other.data_[i];
+    re += p.real();
+    im += p.imag();
+  }
+  return std::hypot(re, im);
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  if (other.n_ != n_) throw std::invalid_argument("max_abs_diff: qubit count mismatch");
+  double m = 0;
+#pragma omp parallel for reduction(max : m) if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i) m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+double StateVector::probability_of_one(qubit_t q) const {
+  if (q >= n_) throw std::invalid_argument("probability_of_one: bad qubit");
+  double sum = 0;
+#pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i)
+    if (bits::test(i, q)) sum += std::norm(data_[i]);
+  return sum;
+}
+
+std::vector<double> StateVector::register_distribution(qubit_t offset, qubit_t width) const {
+  if (offset + width > n_) throw std::invalid_argument("register_distribution: bad register");
+  std::vector<double> dist(dim(width), 0.0);
+  const int threads = max_threads();
+  // Per-thread histograms avoid contention; width is small in practice.
+  std::vector<std::vector<double>> partial(static_cast<std::size_t>(threads),
+                                           std::vector<double>(dist.size(), 0.0));
+#pragma omp parallel num_threads(threads)
+  {
+    auto& mine = partial[static_cast<std::size_t>(thread_id())];
+#pragma omp for
+    for (index_t i = 0; i < size(); ++i)
+      mine[bits::field(i, offset, width)] += std::norm(data_[i]);
+  }
+  for (const auto& p : partial)
+    for (std::size_t k = 0; k < dist.size(); ++k) dist[k] += p[k];
+  return dist;
+}
+
+index_t StateVector::sample(Rng& rng) const {
+  // Inverse-CDF sampling over the amplitude array; O(2^n) once, which is
+  // still exponentially cheaper than re-running the circuit per shot.
+  const double u = rng.uniform() * norm_sq();
+  double acc = 0;
+  for (index_t i = 0; i < size(); ++i) {
+    acc += std::norm(data_[i]);
+    if (u < acc) return i;
+  }
+  return size() - 1;  // u == norm_sq() edge case
+}
+
+int StateVector::measure_and_collapse(qubit_t q, Rng& rng) {
+  const double p1 = probability_of_one(q);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  collapse(q, outcome);
+  return outcome;
+}
+
+void StateVector::collapse(qubit_t q, int outcome) {
+  if (q >= n_) throw std::invalid_argument("collapse: bad qubit");
+  const double p1 = probability_of_one(q);
+  const double p = outcome == 1 ? p1 : 1.0 - p1;
+  if (p < 1e-300) throw std::runtime_error("collapse: zero-probability outcome");
+  const double f = 1.0 / std::sqrt(p);
+  const bool keep_one = outcome == 1;
+#pragma omp parallel for if (worth_parallelizing(size()))
+  for (index_t i = 0; i < size(); ++i) {
+    if (bits::test(i, q) == keep_one) {
+      data_[i] *= f;
+    } else {
+      data_[i] = 0.0;
+    }
+  }
+}
+
+void fill_random_slabs(std::span<complex_t> data, index_t global_offset, std::uint64_t seed) {
+  constexpr index_t kSlab = index_t{1} << 16;
+  const index_t lo = global_offset;
+  const index_t hi = global_offset + data.size();
+  const index_t first_slab = lo / kSlab;
+  const index_t last_slab = (hi + kSlab - 1) / kSlab;
+  const Rng base(seed);
+#pragma omp parallel for schedule(static) if (last_slab - first_slab > 1)
+  for (index_t s = first_slab; s < last_slab; ++s) {
+    Rng rng = base.fork(s);
+    const index_t slab_lo = s * kSlab;
+    const index_t begin = std::max(slab_lo, lo);
+    const index_t end = std::min(slab_lo + kSlab, hi);
+    // Burn draws preceding our window so values depend only on global
+    // position. Each normal_complex consumes a fixed number of draws
+    // only if Box-Muller caching is avoided; regenerate pairwise instead.
+    for (index_t g = slab_lo; g < end; ++g) {
+      const complex_t v = {rng.normal(), rng.normal()};
+      if (g >= begin) data[g - global_offset] = v;
+    }
+  }
+}
+
+}  // namespace qc::sim

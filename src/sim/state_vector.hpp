@@ -1,0 +1,89 @@
+// The n-qubit wave function: 2^n complex amplitudes (paper §2, Eq. 1).
+//
+// StateVector owns the aligned amplitude array and provides the
+// state-level operations every simulator and the emulator share:
+// initialization, normalization, probabilities, measurement (sampling and
+// collapse), overlap, and register readout. Gate application lives in
+// kernels.hpp / the Simulator classes; classical-function shortcuts in
+// qc::emu.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qc::sim {
+
+class StateVector {
+ public:
+  /// |0...0> on n qubits. Allocates 2^n amplitudes (16 bytes each).
+  explicit StateVector(qubit_t n_qubits);
+
+  [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
+  [[nodiscard]] index_t size() const noexcept { return dim(n_); }
+
+  [[nodiscard]] std::span<complex_t> amplitudes() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const complex_t> amplitudes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  complex_t& operator[](index_t i) noexcept { return data_[i]; }
+  const complex_t& operator[](index_t i) const noexcept { return data_[i]; }
+
+  /// Resets to the computational basis state |i>.
+  void set_basis(index_t i);
+
+  /// Fills with i.i.d. complex Gaussians and normalizes — a random state
+  /// (deterministic from rng), used as generic test/bench input.
+  void randomize(Rng& rng);
+
+  /// Partition-independent random state: same result as a
+  /// DistStateVector randomized with the same seed on any rank count.
+  void randomize_deterministic(std::uint64_t seed);
+
+  /// Sum of |amplitude|^2 (should be 1 for a valid state).
+  [[nodiscard]] double norm_sq() const;
+
+  /// Rescales so norm_sq() == 1. Throws if the state is all-zero.
+  void normalize();
+
+  /// |<this|other>|.
+  [[nodiscard]] double overlap_abs(const StateVector& other) const;
+
+  /// max_i |this_i - other_i| — the equality metric in tests.
+  [[nodiscard]] double max_abs_diff(const StateVector& other) const;
+
+  /// Probability of measuring qubit q as 1.
+  [[nodiscard]] double probability_of_one(qubit_t q) const;
+
+  /// Probability distribution over the `width`-bit register starting at
+  /// qubit `offset` (marginal over all other qubits) — the emulator's
+  /// "full distribution in one step" measurement shortcut (§3.4).
+  [[nodiscard]] std::vector<double> register_distribution(qubit_t offset, qubit_t width) const;
+
+  /// Samples a full-register measurement outcome (does not collapse).
+  [[nodiscard]] index_t sample(Rng& rng) const;
+
+  /// Measures qubit q: samples an outcome, collapses and renormalizes.
+  int measure_and_collapse(qubit_t q, Rng& rng);
+
+  /// Collapses qubit q to `outcome` (0/1) and renormalizes. Throws if the
+  /// outcome has probability ~0.
+  void collapse(qubit_t q, int outcome);
+
+ private:
+  qubit_t n_;
+  aligned_vector<complex_t> data_;
+};
+
+/// Fills `data` — a window [global_offset, global_offset + data.size())
+/// of a larger conceptual array — with deterministic complex Gaussians
+/// generated in fixed 2^16-element slabs keyed off `seed`. The values at
+/// a given global position do not depend on how the array is partitioned,
+/// which lets distributed and serial states be seeded identically.
+void fill_random_slabs(std::span<complex_t> data, index_t global_offset, std::uint64_t seed);
+
+}  // namespace qc::sim

@@ -1,0 +1,292 @@
+// Tests for the gate IR: Table 1 matrices, the Kronecker operator
+// oracle, circuit composition/inverse/controlled, builders (QFT,
+// entangler, TFIM), and the decomposition passes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/builders.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/decompose.hpp"
+#include "linalg/gemm.hpp"
+
+namespace qc::circuit {
+namespace {
+
+using linalg::Matrix;
+
+double unitary_distance(const Matrix& a, const Matrix& b) {
+  // Global phase insensitive: align on the largest entry first.
+  complex_t phase{1.0};
+  double best = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (std::abs(a(i, j)) > best) {
+        best = std::abs(a(i, j));
+        phase = b(i, j) / a(i, j);
+      }
+  if (std::abs(std::abs(phase) - 1.0) > 1e-6) return 1e9;
+  return (a * phase).max_abs_diff(b);
+}
+
+TEST(Gate, Table1MatricesAreUnitary) {
+  for (const GateKind k :
+       {GateKind::X, GateKind::Y, GateKind::Z, GateKind::H, GateKind::S, GateKind::Sdg,
+        GateKind::T, GateKind::Tdg}) {
+    EXPECT_LT(gate_block_matrix(make_gate(k, 0)).unitarity_error(), 1e-15)
+        << gate_name(k);
+  }
+  for (const GateKind k : {GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Phase}) {
+    EXPECT_LT(gate_block_matrix(make_gate(k, 0, 0.7)).unitarity_error(), 1e-15)
+        << gate_name(k);
+  }
+  EXPECT_LT(gate_block_matrix(make_swap(0, 1)).unitarity_error(), 1e-15);
+}
+
+TEST(Gate, KnownMatrixEntries) {
+  // Spot checks straight from the paper's Table 1.
+  const Matrix x = gate_block_matrix(make_gate(GateKind::X, 0));
+  EXPECT_EQ(x(0, 1), complex_t{1.0});
+  EXPECT_EQ(x(0, 0), complex_t{});
+  const Matrix t = gate_block_matrix(make_gate(GateKind::T, 0));
+  EXPECT_NEAR(std::abs(t(1, 1) - std::polar(1.0, std::numbers::pi / 4)), 0.0, 1e-15);
+  const Matrix rz = gate_block_matrix(make_gate(GateKind::Rz, 0, 1.0));
+  EXPECT_NEAR(std::abs(rz(0, 0) - std::polar(1.0, -0.5)), 0.0, 1e-15);
+  const Matrix h = gate_block_matrix(make_gate(GateKind::H, 0));
+  EXPECT_NEAR(h(1, 1).real(), -1.0 / std::sqrt(2.0), 1e-15);
+}
+
+TEST(Gate, DiagonalClassification) {
+  EXPECT_TRUE(make_gate(GateKind::Z, 0).diagonal());
+  EXPECT_TRUE(make_gate(GateKind::T, 0).diagonal());
+  EXPECT_TRUE(make_gate(GateKind::Rz, 0, 0.3).diagonal());
+  EXPECT_TRUE(make_controlled(GateKind::Phase, 0, 1, 0.3).diagonal());
+  EXPECT_FALSE(make_gate(GateKind::X, 0).diagonal());
+  EXPECT_FALSE(make_gate(GateKind::H, 0).diagonal());
+}
+
+TEST(Gate, InverseUndoes) {
+  Rng rng(1);
+  for (const GateKind k : {GateKind::X, GateKind::H, GateKind::S, GateKind::T, GateKind::Rx,
+                           GateKind::Rz, GateKind::Phase}) {
+    const Gate g = make_gate(k, 0, 0.91);
+    const Matrix m = gemm_naive(gate_block_matrix(g.inverse()), gate_block_matrix(g));
+    EXPECT_LT(m.max_abs_diff(Matrix::identity(2)), 1e-14) << gate_name(k);
+  }
+  // U2 inverse.
+  const Matrix u = Matrix::random_unitary(2, rng);
+  const Gate g = make_u2(0, {u(0, 0), u(0, 1), u(1, 0), u(1, 1)});
+  EXPECT_LT(gemm_naive(gate_block_matrix(g.inverse()), gate_block_matrix(g))
+                .max_abs_diff(Matrix::identity(2)),
+            1e-12);
+}
+
+TEST(GateOperator, MatchesKroneckerForNotOnQubit0) {
+  // Paper Eq. (3): X on qubit 0 of 2 is X (x) I in their ordering; with
+  // qubit 0 = least significant bit the operator is I (x) X.
+  const Matrix op = gate_operator(make_gate(GateKind::X, 0), 2);
+  const Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix expected = Matrix::identity(2).kron(x);
+  EXPECT_EQ(op.max_abs_diff(expected), 0.0);
+}
+
+TEST(GateOperator, CnotMatchesTable1) {
+  // CNOT with control qubit 1, target qubit 0 in little-endian indexing
+  // reproduces Table 1's matrix (basis order |00>,|01>,|10>,|11> with
+  // the control as the high bit).
+  const Matrix op = gate_operator(make_controlled(GateKind::X, 1, 0), 2);
+  const Matrix expected{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}};
+  EXPECT_EQ(op.max_abs_diff(expected), 0.0);
+}
+
+TEST(GateOperator, ConditionalPhaseMatchesTable1) {
+  const double theta = 0.77;
+  const Matrix op = gate_operator(make_controlled(GateKind::Phase, 1, 0, theta), 2);
+  Matrix expected = Matrix::identity(4);
+  expected(3, 3) = std::polar(1.0, theta);
+  EXPECT_LT(op.max_abs_diff(expected), 1e-15);
+}
+
+TEST(GateOperator, ToffoliPermutesOnlyFullControls) {
+  const Matrix op = gate_operator(make_toffoli(0, 1, 2), 3);
+  Matrix expected = Matrix::identity(8);
+  // |011> <-> |111> : indices 3 and 7.
+  expected(3, 3) = 0;
+  expected(7, 7) = 0;
+  expected(3, 7) = 1;
+  expected(7, 3) = 1;
+  EXPECT_EQ(op.max_abs_diff(expected), 0.0);
+}
+
+TEST(GateOperator, SwapOperator) {
+  const Matrix op = gate_operator(make_swap(0, 1), 2);
+  const Matrix expected{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+  EXPECT_EQ(op.max_abs_diff(expected), 0.0);
+}
+
+TEST(GateOperator, AllGatesUnitaryOnThreeQubits) {
+  Rng rng(5);
+  const Circuit c = random_circuit(3, 40, rng);
+  for (const Gate& g : c.gates())
+    EXPECT_LT(gate_operator(g, 3).unitarity_error(), 1e-12) << g.to_string();
+}
+
+TEST(Circuit, AppendValidates) {
+  Circuit c(2);
+  EXPECT_THROW(c.x(2), std::invalid_argument);
+  EXPECT_THROW(c.cnot(0, 0), std::invalid_argument);
+  EXPECT_NO_THROW(c.cnot(0, 1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Circuit, InverseReversesUnitary) {
+  Rng rng(6);
+  const Circuit c = random_circuit(3, 25, rng);
+  const Matrix u = c.to_matrix_reference();
+  const Matrix uinv = c.inverse().to_matrix_reference();
+  EXPECT_LT(gemm_naive(uinv, u).max_abs_diff(Matrix::identity(8)), 1e-11);
+}
+
+TEST(Circuit, ComposeMultipliesUnitaries) {
+  Rng rng(7);
+  const Circuit a = random_circuit(3, 10, rng);
+  const Circuit b = random_circuit(3, 10, rng);
+  Circuit ab = a;
+  ab.compose(b);
+  // Gates of b run after a: U = U_b * U_a.
+  const Matrix expected = gemm_naive(b.to_matrix_reference(), a.to_matrix_reference());
+  EXPECT_LT(ab.to_matrix_reference().max_abs_diff(expected), 1e-11);
+}
+
+TEST(Circuit, ControlledBlockStructure) {
+  Rng rng(8);
+  const Circuit c = random_circuit(2, 12, rng);
+  const Matrix u = c.to_matrix_reference();
+  const Matrix cu = c.controlled(2).to_matrix_reference();
+  // Control = qubit 2 (high bit): top-left 4x4 block is identity,
+  // bottom-right is U.
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(std::abs(cu(i, j) - (i == j ? complex_t{1.0} : complex_t{})), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(cu(i + 4, j + 4) - u(i, j)), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(cu(i, j + 4)), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(cu(i + 4, j)), 0.0, 1e-12);
+    }
+}
+
+TEST(Circuit, ControlledRejectsUsedQubit) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1);
+  EXPECT_THROW(c.controlled(1), std::invalid_argument);
+}
+
+TEST(Circuit, GateHistogramAndCounts) {
+  Circuit c(3);
+  c.h(0).cnot(0, 1).cnot(1, 2).toffoli(0, 1, 2).t(2);
+  const auto hist = c.gate_histogram();
+  EXPECT_EQ(hist.at("H"), 1u);
+  EXPECT_EQ(hist.at("C1-X"), 2u);
+  EXPECT_EQ(hist.at("C2-X"), 1u);
+  EXPECT_EQ(c.controlled_count(), 3u);
+}
+
+TEST(Builders, QftMatchesEq4Matrix) {
+  // The gate-level QFT (with final swaps) must equal the DFT matrix of
+  // the paper's Eq. (4): F[l,k] = 2^{-n/2} exp(+2 pi i k l / 2^n).
+  for (const qubit_t n : {1u, 2u, 3u, 5u}) {
+    const Matrix u = qft(n).to_matrix_reference();
+    const index_t size = dim(n);
+    double err = 0;
+    for (index_t l = 0; l < size; ++l)
+      for (index_t k = 0; k < size; ++k) {
+        const complex_t expected =
+            std::polar(1.0 / std::sqrt(static_cast<double>(size)),
+                       2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(l) / static_cast<double>(size));
+        err = std::max(err, std::abs(u(l, k) - expected));
+      }
+    EXPECT_LT(err, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Builders, QftGateCountIsQuadratic) {
+  const qubit_t n = 10;
+  const Circuit c = qft(n, /*with_swaps=*/false);
+  EXPECT_EQ(c.size(), static_cast<std::size_t>(n + n * (n - 1) / 2));
+  const Circuit cs = qft(n, /*with_swaps=*/true);
+  EXPECT_EQ(cs.size(), c.size() + n / 2);
+}
+
+TEST(Builders, InverseQftUndoesQft) {
+  const qubit_t n = 4;
+  Circuit both = qft(n);
+  both.compose(inverse_qft(n));
+  EXPECT_LT(both.to_matrix_reference().max_abs_diff(linalg::Matrix::identity(dim(n))),
+            1e-11);
+}
+
+TEST(Builders, EntangleShape) {
+  const Circuit c = entangle(8);
+  EXPECT_EQ(c.size(), 8u);  // 1 H + 7 CNOT
+  EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(c.gates()[i].kind, GateKind::X);
+    ASSERT_EQ(c.gates()[i].controls.size(), 1u);
+    EXPECT_EQ(c.gates()[i].controls[0], 0u);
+  }
+}
+
+TEST(Builders, TfimGateCountMatchesTable2) {
+  // Paper Table 2: G = 29, 33, ..., 53 for n = 8..14 (G = 4n - 3).
+  for (qubit_t n = 8; n <= 14; ++n)
+    EXPECT_EQ(tfim_trotter_step(n, 0.1).size(), static_cast<std::size_t>(4 * n - 3));
+}
+
+TEST(Builders, TfimIsUnitary) {
+  const Matrix u = tfim_trotter_step(4, 0.17).to_matrix_reference();
+  EXPECT_LT(u.unitarity_error(), 1e-12);
+}
+
+TEST(Decompose, ToffoliNetworkMatchesToffoli) {
+  const Matrix direct = gate_operator(make_toffoli(0, 1, 2), 3);
+  const Matrix network = toffoli_network(3, 0, 1, 2).to_matrix_reference();
+  EXPECT_LT(unitary_distance(direct, network), 1e-12);
+}
+
+TEST(Decompose, LowerToCliffordTPreservesUnitary) {
+  Rng rng(9);
+  Circuit c(3);
+  c.toffoli(0, 1, 2).swap(0, 2).h(1).toffoli(2, 1, 0);
+  const Circuit lowered = lower_to_clifford_t(c);
+  EXPECT_LT(unitary_distance(c.to_matrix_reference(), lowered.to_matrix_reference()), 1e-11);
+  for (const Gate& g : lowered.gates()) EXPECT_LE(g.controls.size(), 1u);
+}
+
+TEST(Decompose, LowerMultiControlsPreservesAction) {
+  // C3-X on 4 qubits -> Toffolis with one ancilla; compare on basis
+  // states (the circuits act on different register widths).
+  Circuit c(4);
+  Gate g = make_gate(GateKind::X, 3);
+  g.controls = {0, 1, 2};
+  c.append(g);
+  const Circuit lowered = lower_multi_controls(c);
+  EXPECT_GT(lowered.qubits(), c.qubits());
+  const Matrix direct = c.to_matrix_reference();
+  const Matrix big = lowered.to_matrix_reference();
+  // Ancillas start and end in |0>: check the top-left block.
+  for (index_t i = 0; i < 16; ++i)
+    for (index_t j = 0; j < 16; ++j)
+      EXPECT_NEAR(std::abs(big(i, j) - direct(i, j)), 0.0, 1e-12);
+}
+
+TEST(Decompose, LowerRejectsUnloweredMultiControl) {
+  Circuit c(4);
+  Gate g = make_gate(GateKind::X, 3);
+  g.controls = {0, 1, 2};
+  c.append(g);
+  EXPECT_THROW(lower_to_clifford_t(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qc::circuit

@@ -1,0 +1,293 @@
+// Tests for the in-process message-passing runtime: point-to-point
+// semantics, tag matching, ordering, collectives, barrier, and abort
+// propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace qc::cluster {
+namespace {
+
+TEST(Cluster, RanksSeeCorrectIds) {
+  Cluster cluster(4);
+  std::vector<int> seen(4, -1);
+  cluster.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    seen[static_cast<std::size_t>(comm.rank())] = comm.rank();
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Cluster, SingleRankWorks) {
+  Cluster cluster(1);
+  int count = 0;
+  cluster.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Cluster, RejectsZeroRanks) { EXPECT_THROW(Cluster(0), std::invalid_argument); }
+
+TEST(Comm, PointToPointRoundTrip) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    std::vector<double> buf{1.5, 2.5, 3.5};
+    if (comm.rank() == 0) {
+      comm.send<double>(1, buf);
+      std::vector<double> back(3);
+      comm.recv<double>(1, back);
+      EXPECT_EQ(back[0], 3.0);
+    } else {
+      std::vector<double> in(3);
+      comm.recv<double>(0, in);
+      EXPECT_EQ(in[2], 3.5);
+      std::vector<double> reply{3.0, 2.0, 1.0};
+      comm.send<double>(0, reply);
+    }
+  });
+}
+
+TEST(Comm, MessagesBetweenPairStayOrdered) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        const int v = i;
+        comm.send<int>(1, std::span<const int>(&v, 1));
+      }
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        int v = -1;
+        comm.recv<int>(0, std::span<int>(&v, 1));
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagMatchingSkipsNonMatching) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 10, b = 20;
+      comm.send<int>(1, std::span<const int>(&a, 1), /*tag=*/1);
+      comm.send<int>(1, std::span<const int>(&b, 1), /*tag=*/2);
+    } else {
+      int v = 0;
+      comm.recv<int>(0, std::span<int>(&v, 1), /*tag=*/2);
+      EXPECT_EQ(v, 20);
+      comm.recv<int>(0, std::span<int>(&v, 1), /*tag=*/1);
+      EXPECT_EQ(v, 10);
+    }
+  });
+}
+
+TEST(Comm, SendRecvSymmetricExchange) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    std::vector<int> mine(4, comm.rank());
+    std::vector<int> theirs(4, -1);
+    comm.sendrecv<int>(1 - comm.rank(), mine, theirs);
+    for (int v : theirs) EXPECT_EQ(v, 1 - comm.rank());
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  Cluster cluster(8);
+  std::atomic<int> before{0}, after{0};
+  cluster.run([&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    // Every rank must have incremented `before` before any rank passes.
+    EXPECT_EQ(before.load(), 8);
+    ++after;
+    comm.barrier();
+    EXPECT_EQ(after.load(), 8);
+  });
+}
+
+TEST(Comm, BroadcastFromEveryRoot) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data(3, comm.rank() == root ? 42 + root : -1);
+      comm.broadcast<int>(root, data);
+      for (int v : data) EXPECT_EQ(v, 42 + root);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, AllgatherConcatenatesInRankOrder) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    std::vector<int> mine{comm.rank() * 2, comm.rank() * 2 + 1};
+    std::vector<int> all(8, -1);
+    comm.allgather<int>(mine, all);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  });
+}
+
+TEST(Comm, AlltoallTransposesBlocks) {
+  const int p = 4;
+  Cluster cluster(p);
+  cluster.run([p](Comm& comm) {
+    // Element j of rank r's send buffer encodes (r, j).
+    std::vector<int> out(static_cast<std::size_t>(p) * 2);
+    for (int j = 0; j < p; ++j) {
+      out[static_cast<std::size_t>(2 * j)] = comm.rank() * 100 + j * 10;
+      out[static_cast<std::size_t>(2 * j) + 1] = comm.rank() * 100 + j * 10 + 1;
+    }
+    std::vector<int> in(out.size(), -1);
+    comm.alltoall<int>(out, in);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(in[static_cast<std::size_t>(2 * r)], r * 100 + comm.rank() * 10);
+      EXPECT_EQ(in[static_cast<std::size_t>(2 * r) + 1], r * 100 + comm.rank() * 10 + 1);
+    }
+  });
+}
+
+TEST(Comm, AlltoallvVariableBlocks) {
+  const int p = 4;
+  Cluster cluster(p);
+  cluster.run([p](Comm& comm) {
+    // Rank r sends r+j+1 elements to rank j, each tagged (r*100 + j).
+    std::vector<int> out;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      const std::size_t c = static_cast<std::size_t>(comm.rank() + j + 1);
+      counts[static_cast<std::size_t>(j)] = c;
+      for (std::size_t k = 0; k < c; ++k) out.push_back(comm.rank() * 100 + j);
+    }
+    std::vector<std::size_t> recv_counts;
+    const std::vector<int> in = comm.alltoallv<int>(out, counts, recv_counts);
+    ASSERT_EQ(recv_counts.size(), static_cast<std::size_t>(p));
+    std::size_t offset = 0;
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(recv_counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r + comm.rank() + 1));
+      for (std::size_t k = 0; k < recv_counts[static_cast<std::size_t>(r)]; ++k)
+        EXPECT_EQ(in[offset + k], r * 100 + comm.rank());
+      offset += recv_counts[static_cast<std::size_t>(r)];
+    }
+    EXPECT_EQ(offset, in.size());
+  });
+}
+
+TEST(Comm, AlltoallvEmptyBlocks) {
+  Cluster cluster(3);
+  cluster.run([](Comm& comm) {
+    // Only rank 0 sends, and only to rank 2.
+    std::vector<double> out;
+    std::vector<std::size_t> counts(3, 0);
+    if (comm.rank() == 0) {
+      out = {1.5, 2.5};
+      counts[2] = 2;
+    }
+    std::vector<std::size_t> recv_counts;
+    const auto in = comm.alltoallv<double>(out, counts, recv_counts);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(in.size(), 2u);
+      EXPECT_EQ(in[0], 1.5);
+      EXPECT_EQ(recv_counts[0], 2u);
+    } else {
+      EXPECT_TRUE(in.empty());
+    }
+  });
+}
+
+TEST(Comm, AlltoallvValidatesCounts) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 std::vector<int> out(3);
+                 std::vector<std::size_t> counts{1, 1};  // != out.size()
+                 std::vector<std::size_t> rc;
+                 comm.alltoallv<int>(out, counts, rc);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Comm, AllreduceSumAndMax) {
+  Cluster cluster(6);
+  cluster.run([](Comm& comm) {
+    const double sum = comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, 21.0);  // 1+2+...+6
+    const double mx = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(mx, 5.0);
+    const std::uint64_t usum = comm.allreduce_sum(std::uint64_t{1});
+    EXPECT_EQ(usum, 6u);
+  });
+}
+
+TEST(Comm, RecvSizeMismatchThrows) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   std::vector<int> v(3);
+                   comm.send<int>(1, v);
+                   std::vector<int> sink(1);
+                   comm.recv<int>(1, sink);  // never satisfied; peer throws
+                 } else {
+                   std::vector<int> w(5);
+                   comm.recv<int>(0, w);  // size mismatch -> throws
+                 }
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, InvalidRankThrows) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 std::vector<int> v(1);
+                 comm.send<int>(7, v);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Cluster, PeerFailureAbortsBlockedRanks) {
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) throw std::runtime_error("rank0 died");
+                 // Other ranks block forever unless aborted.
+                 std::vector<int> v(1);
+                 comm.recv<int>(0, v);
+               }),
+               std::runtime_error);
+}
+
+TEST(Cluster, ReusableForMultipleRuns) {
+  Cluster cluster(2);
+  for (int iter = 0; iter < 3; ++iter) {
+    int total = 0;
+    cluster.run([&](Comm& comm) {
+      const int x = comm.allreduce_sum(1);
+      if (comm.rank() == 0) total = x;
+    });
+    EXPECT_EQ(total, 2);
+  }
+}
+
+TEST(Cluster, ManyRanksStress) {
+  Cluster cluster(16, /*omp_threads_per_rank=*/1);
+  cluster.run([](Comm& comm) {
+    // Ring pass: each rank sends its id around the ring.
+    int token = comm.rank();
+    for (int step = 0; step < comm.size(); ++step) {
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      comm.send<int>(next, std::span<const int>(&token, 1));
+      comm.recv<int>(prev, std::span<int>(&token, 1));
+    }
+    EXPECT_EQ(token, comm.rank());  // full circle
+  });
+}
+
+}  // namespace
+}  // namespace qc::cluster

@@ -1,0 +1,141 @@
+// Tests for the distributed FFT: the distributed transpose primitive and
+// the full six-step transform against the local FFT / naive DFT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fft/dist_fft.hpp"
+
+namespace qc::fft {
+namespace {
+
+aligned_vector<complex_t> random_signal(index_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  aligned_vector<complex_t> v(size);
+  for (auto& x : v) x = rng.normal_complex();
+  return v;
+}
+
+double max_diff(std::span<const complex_t> a, std::span<const complex_t> b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+struct Case {
+  qubit_t n;
+  int ranks;
+};
+
+class DistTranspose : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistTranspose, MatchesLocalTranspose) {
+  const auto [n, p] = GetParam();
+  const index_t rows = index_t{1} << ((n + 1) / 2);
+  const index_t cols = index_t{1} << (n / 2);
+  if (rows % p != 0 || cols % p != 0) GTEST_SKIP();
+  const auto global = random_signal(rows * cols, 40 + n);
+
+  // Expected: full local transpose.
+  aligned_vector<complex_t> expected(rows * cols);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < cols; ++c) expected[c * rows + r] = global[r * cols + c];
+
+  aligned_vector<complex_t> gathered(rows * cols);
+  cluster::Cluster cluster(p, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    const index_t in_chunk = rows / p * cols;
+    const index_t out_chunk = cols / p * rows;
+    aligned_vector<complex_t> local_in(
+        global.begin() + static_cast<std::ptrdiff_t>(comm.rank() * in_chunk),
+        global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * in_chunk));
+    aligned_vector<complex_t> local_out(out_chunk);
+    dist_transpose(comm, local_in, local_out, rows, cols);
+    comm.allgather<complex_t>(local_out, gathered);
+  });
+  EXPECT_EQ(max_diff(gathered, expected), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DistTranspose,
+                         ::testing::Values(Case{4, 1}, Case{4, 2}, Case{6, 2}, Case{6, 4},
+                                           Case{8, 4}, Case{10, 8}, Case{12, 4}));
+
+class DistFft : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistFft, MatchesLocalFft) {
+  const auto [n, p] = GetParam();
+  const index_t size = dim(n);
+  const auto global = random_signal(size, 50 + n);
+
+  aligned_vector<complex_t> expected = global;
+  fft_inplace(expected, Sign::Positive, Norm::Unitary);
+
+  aligned_vector<complex_t> gathered(size);
+  cluster::Cluster cluster(p, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    const index_t chunk = size / p;
+    aligned_vector<complex_t> local(
+        global.begin() + static_cast<std::ptrdiff_t>(comm.rank() * chunk),
+        global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
+    dist_fft(comm, local, n, Sign::Positive, Norm::Unitary);
+    comm.allgather<complex_t>(local, gathered);
+  });
+  EXPECT_LT(max_diff(gathered, expected), 1e-10 * std::sqrt(static_cast<double>(size)));
+}
+
+TEST_P(DistFft, RoundTripRestoresInput) {
+  const auto [n, p] = GetParam();
+  const index_t size = dim(n);
+  const auto global = random_signal(size, 60 + n);
+  aligned_vector<complex_t> gathered(size);
+  cluster::Cluster cluster(p, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    const index_t chunk = size / p;
+    aligned_vector<complex_t> local(
+        global.begin() + static_cast<std::ptrdiff_t>(comm.rank() * chunk),
+        global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
+    dist_fft(comm, local, n, Sign::Positive, Norm::None);
+    dist_fft(comm, local, n, Sign::Negative, Norm::Inverse);
+    comm.allgather<complex_t>(local, gathered);
+  });
+  EXPECT_LT(max_diff(gathered, global), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DistFft,
+                         ::testing::Values(Case{4, 1}, Case{4, 2}, Case{6, 4}, Case{8, 2},
+                                           Case{10, 4}, Case{12, 8}, Case{14, 4},
+                                           Case{16, 16}));
+
+TEST(DistFft, StatsArePopulated) {
+  const qubit_t n = 12;
+  const int p = 4;
+  const index_t size = dim(n);
+  const auto global = random_signal(size, 77);
+  DistFftStats stats;
+  cluster::Cluster cluster(p, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    const index_t chunk = size / p;
+    aligned_vector<complex_t> local(
+        global.begin() + static_cast<std::ptrdiff_t>(comm.rank() * chunk),
+        global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
+    const DistFftStats s = dist_fft(comm, local, n, Sign::Positive, Norm::None);
+    if (comm.rank() == 0) stats = s;
+  });
+  EXPECT_GT(stats.transpose_seconds, 0.0);
+  EXPECT_GT(stats.local_fft_seconds, 0.0);
+  EXPECT_GT(stats.total(), 0.0);
+}
+
+TEST(DistFft, RejectsTooManyRanks) {
+  // n = 4 -> C = 4; 8 ranks cannot divide the columns.
+  cluster::Cluster cluster(8, 1);
+  EXPECT_THROW(cluster.run([&](cluster::Comm& comm) {
+                 aligned_vector<complex_t> local(dim(4) / 8);
+                 dist_fft(comm, local, 4, Sign::Positive);
+               }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qc::fft

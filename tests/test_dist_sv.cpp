@@ -1,0 +1,201 @@
+// Tests for the distributed state vector: agreement with the serial
+// simulator on random circuits for every policy and rank count, the
+// communication-avoidance guarantees of the Specialized policy, and the
+// collective reductions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/builders.hpp"
+#include "sim/dist_sv.hpp"
+#include "sim/simulator.hpp"
+
+namespace qc::sim {
+namespace {
+
+using circuit::Circuit;
+
+struct Case {
+  qubit_t n;
+  int ranks;
+  CommPolicy policy;
+};
+
+/// Runs `c` on a distributed state (random init, fixed seed) and on the
+/// serial HpcSimulator; returns the max amplitude difference.
+double dist_vs_serial(const Circuit& c, qubit_t n, int ranks, CommPolicy policy,
+                      std::uint64_t seed) {
+  StateVector serial(n);
+  serial.randomize_deterministic(seed);
+  HpcSimulator().run(serial, c);
+
+  double diff = -1;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(seed);
+    dsv.run(c, policy);
+    const StateVector gathered = dsv.gather_all();
+    if (comm.rank() == 0) diff = gathered.max_abs_diff(serial);
+  });
+  return diff;
+}
+
+class DistRandomCircuit : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistRandomCircuit, MatchesSerialSimulator) {
+  const auto [n, ranks, policy] = GetParam();
+  Rng rng(n * 100 + ranks);
+  const Circuit c = circuit::random_circuit(n, 50, rng);
+  EXPECT_LT(dist_vs_serial(c, n, ranks, policy, 555), 1e-12);
+}
+
+TEST_P(DistRandomCircuit, QftCircuitMatchesSerial) {
+  const auto [n, ranks, policy] = GetParam();
+  EXPECT_LT(dist_vs_serial(circuit::qft(n), n, ranks, policy, 777), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DistRandomCircuit,
+    ::testing::Values(Case{6, 1, CommPolicy::Specialized}, Case{6, 2, CommPolicy::Specialized},
+                      Case{6, 2, CommPolicy::Exchange}, Case{8, 4, CommPolicy::Specialized},
+                      Case{8, 4, CommPolicy::Exchange}, Case{9, 8, CommPolicy::Specialized},
+                      Case{9, 8, CommPolicy::Exchange}, Case{10, 4, CommPolicy::Specialized}));
+
+TEST(DistStateVector, InitialStateIsZeroKet) {
+  cluster::Cluster cluster(4, 1);
+  cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, 6);
+    EXPECT_NEAR(dsv.norm_sq(), 1.0, 1e-14);
+    const StateVector sv = dsv.gather_all();
+    EXPECT_EQ(sv[0], complex_t{1.0});
+  });
+}
+
+TEST(DistStateVector, SetBasisGlobalIndex) {
+  cluster::Cluster cluster(4, 1);
+  cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, 4);
+    dsv.set_basis(13);
+    const StateVector sv = dsv.gather_all();
+    EXPECT_EQ(sv[13], complex_t{1.0});
+    EXPECT_NEAR(dsv.norm_sq(), 1.0, 1e-14);
+  });
+}
+
+TEST(DistStateVector, RandomizeMatchesSerialDeterministic) {
+  const qubit_t n = 8;
+  StateVector serial(n);
+  serial.randomize_deterministic(99);
+  for (const int ranks : {1, 2, 4, 8}) {
+    cluster::Cluster cluster(ranks, 1);
+    cluster.run([&](cluster::Comm& comm) {
+      DistStateVector dsv(comm, n);
+      dsv.randomize(99);
+      const StateVector sv = dsv.gather_all();
+      EXPECT_LT(sv.max_abs_diff(serial), 1e-14) << "ranks=" << ranks;
+    });
+  }
+}
+
+TEST(DistStateVector, ProbabilityOfOneMatchesSerial) {
+  const qubit_t n = 7;
+  StateVector serial(n);
+  serial.randomize_deterministic(3);
+  cluster::Cluster cluster(4, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(3);
+    for (qubit_t q = 0; q < n; ++q)
+      EXPECT_NEAR(dsv.probability_of_one(q), serial.probability_of_one(q), 1e-12);
+  });
+}
+
+TEST(DistStateVector, DiagonalGlobalGateAvoidsCommunication) {
+  // Specialized policy: a CR on a global qubit must move zero bytes;
+  // Exchange policy must move the chunk. This is the Fig. 4 mechanism.
+  const qubit_t n = 8;
+  const int ranks = 4;
+  Circuit c(n);
+  c.cr(0, n - 1, 0.9);  // target is the top (global) qubit
+  std::uint64_t specialized_bytes = 1, exchange_bytes = 0;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector a(comm, n);
+    a.randomize(5);
+    a.run(c, CommPolicy::Specialized);
+    DistStateVector b(comm, n);
+    b.randomize(5);
+    b.run(c, CommPolicy::Exchange);
+    if (comm.rank() == 0) {
+      specialized_bytes = a.bytes_communicated();
+      exchange_bytes = b.bytes_communicated();
+    }
+    // Both policies still agree on the state.
+    EXPECT_LT(a.max_abs_diff(b), 1e-13);
+  });
+  EXPECT_EQ(specialized_bytes, 0u);
+  EXPECT_GT(exchange_bytes, 0u);
+}
+
+TEST(DistStateVector, GlobalHadamardCommunicatesOnce) {
+  const qubit_t n = 8;
+  const int ranks = 4;
+  Circuit c(n);
+  c.h(n - 1);
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(6);
+    dsv.run(c, CommPolicy::Specialized);
+    // One exchange of the local chunk (2^{n-2} amplitudes * 16 bytes).
+    EXPECT_EQ(dsv.bytes_communicated(), dim(n - 2) * sizeof(complex_t));
+  });
+}
+
+TEST(DistStateVector, UnsatisfiedGlobalControlSkipsWork) {
+  const qubit_t n = 6;
+  const int ranks = 4;
+  // Control on the top qubit; H target local. Ranks with the control
+  // rank-bit unset must leave their chunk untouched.
+  Circuit c(n);
+  c.append(circuit::make_controlled(circuit::GateKind::H, n - 1, 0));
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(7);
+    const aligned_vector<complex_t> before(dsv.local().begin(), dsv.local().end());
+    dsv.run(c, CommPolicy::Specialized);
+    const bool control_set = (comm.rank() >> 1) & 1;  // rank bit of qubit n-1
+    double changed = 0;
+    for (index_t i = 0; i < dsv.local().size(); ++i)
+      changed = std::max(changed, std::abs(dsv.local()[i] - before[i]));
+    if (control_set) {
+      EXPECT_GT(changed, 1e-6);
+    } else {
+      EXPECT_EQ(changed, 0.0);
+    }
+    EXPECT_EQ(dsv.bytes_communicated(), 0u);
+  });
+}
+
+TEST(DistStateVector, EntangleAcrossRanksGivesGhz) {
+  const qubit_t n = 6;
+  cluster::Cluster cluster(8, 1);
+  cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.run(circuit::entangle(n), CommPolicy::Specialized);
+    const StateVector sv = dsv.gather_all();
+    EXPECT_NEAR(std::abs(sv[0]), 1.0 / std::sqrt(2.0), 1e-13);
+    EXPECT_NEAR(std::abs(sv[dim(n) - 1]), 1.0 / std::sqrt(2.0), 1e-13);
+  });
+}
+
+TEST(DistStateVector, RejectsNonPow2Ranks) {
+  cluster::Cluster cluster(3, 1);
+  EXPECT_THROW(cluster.run([](cluster::Comm& comm) { DistStateVector dsv(comm, 5); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qc::sim

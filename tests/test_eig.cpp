@@ -1,0 +1,167 @@
+// Tests for the from-scratch eigensolver pipeline (Hessenberg reduction,
+// Schur decomposition, eigenvalues/eigenvectors) — the zgeev stand-in of
+// the paper's §3.3 eigendecomposition shortcut.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "linalg/eig.hpp"
+#include "linalg/gemm.hpp"
+
+namespace qc::linalg {
+namespace {
+
+double reconstruction_error(const Matrix& a, const Matrix& q, const Matrix& t) {
+  // || A - Q T Q^H ||_max
+  return gemm(gemm(q, t), q.dagger()).max_abs_diff(a);
+}
+
+bool is_upper_hessenberg(const Matrix& h, double tol = 1e-12) {
+  for (std::size_t i = 0; i < h.rows(); ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j)
+      if (std::abs(h(i, j)) > tol) return false;
+  return true;
+}
+
+bool is_upper_triangular(const Matrix& t, double tol = 1e-10) {
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (std::abs(t(i, j)) > tol) return false;
+  return true;
+}
+
+TEST(Hessenberg, StructureAndSimilarity) {
+  Rng rng(1);
+  for (const std::size_t n : {1u, 2u, 3u, 8u, 24u}) {
+    const Matrix a = Matrix::random(n, n, rng);
+    Matrix q;
+    const Matrix h = hessenberg(a, &q);
+    EXPECT_TRUE(is_upper_hessenberg(h)) << "n=" << n;
+    EXPECT_LT(q.unitarity_error(), 1e-12) << "n=" << n;
+    EXPECT_LT(reconstruction_error(a, q, h), 1e-11 * std::max<double>(1.0, n)) << "n=" << n;
+  }
+}
+
+TEST(Hessenberg, HermitianBecomesTridiagonalLike) {
+  Rng rng(2);
+  const Matrix a = Matrix::random_hermitian(12, rng);
+  const Matrix h = hessenberg(a);
+  // Similarity preserves Hermiticity, so H is Hermitian Hessenberg =
+  // tridiagonal.
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_LT(std::abs(h(i, j)), 1e-12);
+  EXPECT_LT(h.hermiticity_error(), 1e-11);
+}
+
+TEST(Schur, TriangularFactorAndReconstruction) {
+  Rng rng(3);
+  for (const std::size_t n : {2u, 5u, 16u, 40u}) {
+    const Matrix a = Matrix::random(n, n, rng);
+    const SchurResult s = schur(a);
+    EXPECT_TRUE(is_upper_triangular(s.t)) << "n=" << n;
+    EXPECT_LT(s.q.unitarity_error(), 1e-10) << "n=" << n;
+    EXPECT_LT(reconstruction_error(a, s.q, s.t), 1e-9 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+TEST(Eig, DiagonalMatrixIsExact) {
+  const std::vector<complex_t> d{1.0, kI, -2.0, complex_t{0.5, -0.5}};
+  const EigResult r = eig(Matrix::diagonal(d));
+  std::vector<double> got, want;
+  for (const auto& v : r.values) got.push_back(std::abs(v));
+  for (const auto& v : d) want.push_back(std::abs(v));
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
+}
+
+TEST(Eig, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  EigResult r = eig(a);
+  std::vector<double> vals{r.values[0].real(), r.values[1].real()};
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[0], 1.0, 1e-12);
+  EXPECT_NEAR(vals[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[0].imag(), 0.0, 1e-12);
+  EXPECT_LT(eig_residual(a, r), 1e-12);
+}
+
+class EigRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigRandom, ResidualSmallOnGaussianMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  const Matrix a = Matrix::random(n, n, rng);
+  const EigResult r = eig(a);
+  EXPECT_LT(eig_residual(a, r), 1e-8 * a.frobenius_norm()) << "n=" << n;
+}
+
+TEST_P(EigRandom, UnitaryEigenvaluesOnUnitCircle) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 13 + 5);
+  const Matrix u = Matrix::random_unitary(n, rng);
+  const EigResult r = eig(u);
+  for (const auto& v : r.values) EXPECT_NEAR(std::abs(v), 1.0, 1e-9);
+  EXPECT_LT(eig_residual(u, r), 1e-8 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(EigRandom, HermitianEigenvaluesReal) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 3);
+  const Matrix h = Matrix::random_hermitian(n, rng);
+  const EigResult r = eig(h);
+  for (const auto& v : r.values) EXPECT_NEAR(v.imag(), 0.0, 1e-8 * h.frobenius_norm());
+  EXPECT_LT(eig_residual(h, r), 1e-8 * h.frobenius_norm());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigRandom, ::testing::Values(2, 3, 4, 8, 16, 32, 64));
+
+TEST(Eig, RepeatedEigenvaluesHandled) {
+  // Identity has a single eigenvalue of multiplicity n; the guarded
+  // back-substitution must still return unit-norm eigenvectors.
+  const EigResult r = eig(Matrix::identity(8));
+  for (const auto& v : r.values) EXPECT_NEAR(std::abs(v - complex_t{1.0}), 0.0, 1e-12);
+  EXPECT_LT(eig_residual(Matrix::identity(8), r), 1e-10);
+}
+
+TEST(Eig, PauliZSpectrum) {
+  const Matrix z{{1.0, 0.0}, {0.0, -1.0}};
+  const EigResult r = eig(z);
+  std::vector<double> vals{r.values[0].real(), r.values[1].real()};
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[0], -1.0, 1e-14);
+  EXPECT_NEAR(vals[1], 1.0, 1e-14);
+}
+
+TEST(Eig, TraceEqualsSumOfEigenvalues) {
+  Rng rng(31);
+  const std::size_t n = 20;
+  const Matrix a = Matrix::random(n, n, rng);
+  complex_t trace{};
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  const EigResult r = eig(a, /*compute_vectors=*/false);
+  complex_t sum{};
+  for (const auto& v : r.values) sum += v;
+  EXPECT_NEAR(std::abs(sum - trace), 0.0, 1e-9 * a.frobenius_norm());
+}
+
+TEST(Eig, WithoutVectorsSkipsVectorMatrix) {
+  Rng rng(33);
+  const EigResult r = eig(Matrix::random(10, 10, rng), /*compute_vectors=*/false);
+  EXPECT_EQ(r.vectors.rows(), 0u);
+  EXPECT_EQ(r.values.size(), 10u);
+}
+
+TEST(Eig, RejectsNonSquare) {
+  Rng rng(34);
+  const Matrix a = Matrix::random(3, 4, rng);
+  EXPECT_THROW(eig(a), std::invalid_argument);
+  EXPECT_THROW(hessenberg(a), std::invalid_argument);
+  EXPECT_THROW(schur(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qc::linalg

@@ -1,0 +1,165 @@
+// Unit tests for dense complex linear algebra: Matrix, GEMM variants,
+// Strassen, matrix powers, Kronecker products.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, kI}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 1), kI);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(id(i, j), (i == j ? complex_t{1.0} : complex_t{}));
+  const std::vector<complex_t> d{1.0, kI, -1.0};
+  const Matrix dm = Matrix::diagonal(d);
+  EXPECT_EQ(dm(1, 1), kI);
+  EXPECT_EQ(dm(0, 1), complex_t{});
+}
+
+TEST(Matrix, DaggerIsConjugateTranspose) {
+  const Matrix m{{1.0 + kI, 2.0}, {3.0, 4.0 - kI}};
+  const Matrix d = m.dagger();
+  EXPECT_EQ(d(0, 0), std::conj(m(0, 0)));
+  EXPECT_EQ(d(0, 1), std::conj(m(1, 0)));
+  EXPECT_EQ(m.dagger().dagger().max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, RandomUnitaryIsUnitary) {
+  Rng rng(1);
+  for (const std::size_t n : {2u, 8u, 33u}) {
+    const Matrix u = Matrix::random_unitary(n, rng);
+    EXPECT_LT(u.unitarity_error(), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Matrix, RandomHermitianIsHermitian) {
+  Rng rng(2);
+  const Matrix h = Matrix::random_hermitian(16, rng);
+  EXPECT_LT(h.hermiticity_error(), 1e-14);
+}
+
+TEST(Matrix, FrobeniusNormOfIdentity) {
+  EXPECT_NEAR(Matrix::identity(9).frobenius_norm(), 3.0, 1e-14);
+}
+
+TEST(Matrix, MatvecMatchesManual) {
+  const Matrix m{{1.0, 2.0}, {kI, -1.0}};
+  const std::vector<complex_t> x{1.0, kI};
+  std::vector<complex_t> y(2);
+  m.matvec(x, y);
+  EXPECT_NEAR(std::abs(y[0] - complex_t(1.0 + 2.0 * kI)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(y[1] - complex_t(kI - kI)), 0.0, 1e-15);
+}
+
+TEST(Matrix, KronMatchesPaperEq3) {
+  // Paper Eq. (3): X (x) I_2 for a NOT on the high qubit of two.
+  const Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix id = Matrix::identity(2);
+  const Matrix k = x.kron(id);
+  const Matrix expected{{0, 0, 1, 0}, {0, 0, 0, 1}, {1, 0, 0, 0}, {0, 1, 0, 0}};
+  EXPECT_EQ(k.max_abs_diff(expected), 0.0);
+}
+
+TEST(Matrix, KronDimensions) {
+  Rng rng(3);
+  const Matrix a = Matrix::random(2, 3, rng);
+  const Matrix b = Matrix::random(4, 5, rng);
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+  // Spot-check (i1*4+i2, j1*5+j2) = a(i1,j1)*b(i2,j2). Compare with a
+  // tolerance: FMA contraction may differ between the two evaluations.
+  EXPECT_LT(std::abs(k(1 * 4 + 2, 2 * 5 + 3) - a(1, 2) * b(2, 3)), 1e-15);
+}
+
+class GemmSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmSizes, BlockedMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  const Matrix ref = gemm_naive(a, b);
+  EXPECT_LT(gemm(a, b).max_abs_diff(ref), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(GemmSizes, StrassenMatchesNaive) {
+  const std::size_t n = GetParam();
+  if (!bits::is_pow2(n)) GTEST_SKIP();
+  Rng rng(n + 100);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  const Matrix ref = gemm_naive(a, b);
+  EXPECT_LT(strassen(a, b, 16).max_abs_diff(ref), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizes, ::testing::Values(1, 2, 3, 7, 16, 33, 64, 100, 128));
+
+TEST(Gemm, RectangularShapes) {
+  Rng rng(9);
+  const Matrix a = Matrix::random(3, 7, rng);
+  const Matrix b = Matrix::random(7, 5, rng);
+  const Matrix ref = gemm_naive(a, b);
+  EXPECT_LT(gemm(a, b).max_abs_diff(ref), 1e-12);
+  EXPECT_THROW(gemm(b, a), std::invalid_argument);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(10);
+  const Matrix a = Matrix::random(20, 20, rng);
+  EXPECT_LT(gemm(a, Matrix::identity(20)).max_abs_diff(a), 1e-13);
+  EXPECT_LT(gemm(Matrix::identity(20), a).max_abs_diff(a), 1e-13);
+}
+
+TEST(Gemm, GemmIntoRejectsBadShape) {
+  Rng rng(11);
+  const Matrix a = Matrix::random(4, 4, rng);
+  Matrix c(3, 4);
+  EXPECT_THROW(gemm_into(a, a, c), std::invalid_argument);
+}
+
+TEST(Gemm, StrassenFallsBackForNonPow2) {
+  Rng rng(12);
+  const Matrix a = Matrix::random(6, 6, rng);
+  const Matrix b = Matrix::random(6, 6, rng);
+  EXPECT_LT(strassen(a, b, 2).max_abs_diff(gemm_naive(a, b)), 1e-11);
+}
+
+TEST(MatrixPower, Pow2MatchesRepeatedMultiply) {
+  Rng rng(13);
+  const Matrix u = Matrix::random_unitary(8, rng);
+  Matrix expected = u;
+  for (int i = 0; i < 3; ++i) expected = gemm_naive(expected, expected);
+  EXPECT_LT(matrix_power_pow2(u, 3).max_abs_diff(expected), 1e-11);
+  EXPECT_LT(matrix_power_pow2(u, 3, /*use_strassen=*/true).max_abs_diff(expected), 1e-10);
+}
+
+TEST(MatrixPower, GeneralExponent) {
+  Rng rng(14);
+  const Matrix u = Matrix::random_unitary(4, rng);
+  Matrix expected = Matrix::identity(4);
+  for (int i = 0; i < 13; ++i) expected = gemm_naive(expected, u);
+  EXPECT_LT(matrix_power(u, 13).max_abs_diff(expected), 1e-12);
+  EXPECT_LT(matrix_power(u, 0).max_abs_diff(Matrix::identity(4)), 1e-15);
+}
+
+TEST(MatrixPower, UnitaryPowersStayUnitary) {
+  Rng rng(15);
+  const Matrix u = Matrix::random_unitary(16, rng);
+  EXPECT_LT(matrix_power_pow2(u, 5).unitarity_error(), 1e-10);
+}
+
+}  // namespace
+}  // namespace qc::linalg

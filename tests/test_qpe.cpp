@@ -1,0 +1,301 @@
+// Tests for phase estimation: dense-unitary construction, the outcome
+// kernel, and the three-strategy agreement contract (simulation ==
+// repeated squaring == eigendecomposition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "circuit/builders.hpp"
+#include "emu/qpe.hpp"
+#include "linalg/gemm.hpp"
+#include "sim/simulator.hpp"
+
+namespace qc::emu {
+namespace {
+
+using circuit::Circuit;
+using linalg::Matrix;
+using sim::StateVector;
+
+TEST(BuildUnitary, MatchesReferenceKroneckerConstruction) {
+  Rng rng(1);
+  for (const qubit_t n : {1u, 2u, 4u, 6u}) {
+    const Circuit c = circuit::random_circuit(n, 8 * n, rng);
+    const Matrix fast = build_unitary(c);
+    const Matrix ref = c.to_matrix_reference();
+    EXPECT_LT(fast.max_abs_diff(ref), 1e-11) << "n=" << n;
+  }
+}
+
+TEST(BuildUnitary, TfimIsUnitary) {
+  const Matrix u = build_unitary(circuit::tfim_trotter_step(6, 0.2));
+  EXPECT_LT(u.unitarity_error(), 1e-12);
+}
+
+TEST(OutcomeKernel, SumsToOne) {
+  for (const double theta : {0.0, 0.3, 1.7, 5.9}) {
+    for (const unsigned b : {2u, 4u, 6u}) {
+      double total = 0;
+      for (index_t m = 0; m < (index_t{1} << b); ++m)
+        total += qpe_outcome_probability(theta, m, b);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "theta=" << theta << " b=" << b;
+    }
+  }
+}
+
+TEST(OutcomeKernel, ExactPhaseIsDeterministic) {
+  // theta = 2*pi*m/2^b is measured as m with probability 1.
+  const unsigned b = 5;
+  const index_t m = 11;
+  const double theta = 2.0 * std::numbers::pi * 11.0 / 32.0;
+  EXPECT_NEAR(qpe_outcome_probability(theta, m, b), 1.0, 1e-12);
+  EXPECT_NEAR(qpe_outcome_probability(theta, m + 1, b), 0.0, 1e-12);
+}
+
+TEST(OutcomeKernel, OffGridPhaseConcentratesNearby) {
+  const unsigned b = 6;
+  const double theta = 2.0 * std::numbers::pi * (10.4 / 64.0);
+  // Best outcomes are m = 10 and m = 11; together they carry most mass.
+  const double p10 = qpe_outcome_probability(theta, 10, b);
+  const double p11 = qpe_outcome_probability(theta, 11, b);
+  EXPECT_GT(p10 + p11, 0.8);
+  EXPECT_GT(p10, p11);  // 10.4 is closer to 10
+}
+
+/// Diagonal test unitary with a known eigenphase on |1...1>.
+Circuit phase_oracle_circuit(qubit_t n, double theta) {
+  Circuit c(n);
+  // R(theta) on qubit 0 controlled on all others: phase e^{i theta} on
+  // the all-ones state only.
+  circuit::Gate g = circuit::make_gate(circuit::GateKind::Phase, 0, theta);
+  for (qubit_t q = 1; q < n; ++q) g.controls.push_back(q);
+  c.append(g);
+  return c;
+}
+
+TEST(Qpe, KnownEigenphaseAllStrategies) {
+  const qubit_t n = 3;
+  const unsigned b = 5;
+  const double theta = 2.0 * std::numbers::pi * 13.0 / 32.0;  // exactly representable
+  const Circuit c = phase_oracle_circuit(n, theta);
+  StateVector eigenstate(n);
+  eigenstate.set_basis(dim(n) - 1);  // |111>
+
+  for (const QpeStrategy strategy :
+       {QpeStrategy::SimulateCircuit, QpeStrategy::RepeatedSquaring,
+        QpeStrategy::Eigendecomposition}) {
+    QpeOptions opt;
+    opt.bits = b;
+    opt.strategy = strategy;
+    const QpeResult r = phase_estimation(c, eigenstate, opt);
+    EXPECT_EQ(r.most_likely, 13u) << r.strategy_used;
+    EXPECT_NEAR(r.distribution[13], 1.0, 1e-9) << r.strategy_used;
+    EXPECT_NEAR(r.phase_estimate, theta, 1e-12) << r.strategy_used;
+  }
+}
+
+TEST(Qpe, StrategiesAgreeOnTfimEigenstate) {
+  // Use an eigenvector of the TFIM Trotter step (from our eigensolver)
+  // as input; all three strategies must yield the same distribution.
+  const qubit_t n = 4;
+  const unsigned b = 6;
+  const Circuit c = circuit::tfim_trotter_step(n, 0.13);
+  const Matrix u = build_unitary(c);
+  const linalg::EigResult eig = linalg::eig(u);
+
+  StateVector input(n);
+  for (index_t i = 0; i < dim(n); ++i) input[i] = eig.vectors(i, 2);
+
+  QpeOptions opt;
+  opt.bits = b;
+  opt.strategy = QpeStrategy::SimulateCircuit;
+  const QpeResult sim_r = phase_estimation(c, input, opt);
+  opt.strategy = QpeStrategy::RepeatedSquaring;
+  const QpeResult rs_r = phase_estimation(c, input, opt);
+  opt.strategy = QpeStrategy::Eigendecomposition;
+  const QpeResult eig_r = phase_estimation(c, input, opt);
+
+  for (index_t m = 0; m < (index_t{1} << b); ++m) {
+    EXPECT_NEAR(rs_r.distribution[m], sim_r.distribution[m], 1e-6) << "m=" << m;
+    EXPECT_NEAR(eig_r.distribution[m], sim_r.distribution[m], 1e-6) << "m=" << m;
+  }
+  EXPECT_EQ(rs_r.most_likely, sim_r.most_likely);
+  EXPECT_EQ(eig_r.most_likely, sim_r.most_likely);
+}
+
+TEST(Qpe, StrassenVariantMatchesGemm) {
+  const qubit_t n = 3;
+  const Circuit c = circuit::tfim_trotter_step(n, 0.21);
+  const Matrix u = build_unitary(c);
+  const linalg::EigResult eig = linalg::eig(u);
+  StateVector input(n);
+  for (index_t i = 0; i < dim(n); ++i) input[i] = eig.vectors(i, 0);
+
+  QpeOptions opt;
+  opt.bits = 5;
+  opt.strategy = QpeStrategy::RepeatedSquaring;
+  const QpeResult plain = phase_estimation(c, input, opt);
+  opt.use_strassen = true;
+  const QpeResult fancy = phase_estimation(c, input, opt);
+  for (index_t m = 0; m < 32; ++m)
+    EXPECT_NEAR(plain.distribution[m], fancy.distribution[m], 1e-8);
+}
+
+TEST(Qpe, EigendecompositionHandlesSuperpositionInput) {
+  // Non-eigenstate input: the distribution is a mixture over eigenphases.
+  // Eigendecomposition and full circuit simulation must agree.
+  const qubit_t n = 3;
+  const unsigned b = 5;
+  const Circuit c = circuit::tfim_trotter_step(n, 0.4);
+  StateVector input(n);
+  Rng rng(5);
+  input.randomize(rng);
+
+  QpeOptions opt;
+  opt.bits = b;
+  opt.strategy = QpeStrategy::SimulateCircuit;
+  const QpeResult sim_r = phase_estimation(c, input, opt);
+  opt.strategy = QpeStrategy::Eigendecomposition;
+  const QpeResult eig_r = phase_estimation(c, input, opt);
+  for (index_t m = 0; m < (index_t{1} << b); ++m)
+    EXPECT_NEAR(eig_r.distribution[m], sim_r.distribution[m], 1e-6) << "m=" << m;
+}
+
+TEST(Qpe, DistributionsAreNormalized) {
+  const Circuit c = circuit::tfim_trotter_step(3, 0.3);
+  StateVector input(3);
+  Rng rng(6);
+  input.randomize(rng);
+  for (const QpeStrategy s : {QpeStrategy::SimulateCircuit, QpeStrategy::Eigendecomposition}) {
+    QpeOptions opt;
+    opt.bits = 4;
+    opt.strategy = s;
+    const QpeResult r = phase_estimation(c, input, opt);
+    double total = 0;
+    for (double p : r.distribution) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << r.strategy_used;
+  }
+}
+
+TEST(Qpe, TimingFieldsPopulated) {
+  const Circuit c = circuit::tfim_trotter_step(4, 0.1);
+  StateVector input(4);
+  QpeOptions opt;
+  opt.bits = 3;
+  opt.strategy = QpeStrategy::RepeatedSquaring;
+  const QpeResult rs = phase_estimation(c, input, opt);
+  EXPECT_GT(rs.seconds_construct, 0.0);
+  EXPECT_GT(rs.seconds_power, 0.0);
+  opt.strategy = QpeStrategy::Eigendecomposition;
+  const QpeResult er = phase_estimation(c, input, opt);
+  EXPECT_GT(er.seconds_eig, 0.0);
+  opt.strategy = QpeStrategy::SimulateCircuit;
+  const QpeResult sr = phase_estimation(c, input, opt);
+  EXPECT_GT(sr.seconds_simulate, 0.0);
+}
+
+TEST(IterativeQpe, ExactPhaseIsDeterministic) {
+  // Exactly representable eigenphase: every round's measurement is
+  // deterministic and the bits assemble to the coherent-QPE outcome.
+  const qubit_t n = 3;
+  const unsigned b = 6;
+  const double theta = 2.0 * std::numbers::pi * 37.0 / 64.0;
+  const Circuit c = phase_oracle_circuit(n, theta);
+  StateVector eigenstate(n);
+  eigenstate.set_basis(dim(n) - 1);
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const IterativeQpeResult r = iterative_phase_estimation(c, eigenstate, b, rng);
+    EXPECT_EQ(r.outcome, 37u);
+    EXPECT_NEAR(r.phase_estimate, theta, 1e-12);
+  }
+}
+
+TEST(IterativeQpe, MatchesCoherentOnTfimEigenstate) {
+  const qubit_t n = 3;
+  const unsigned b = 5;
+  const Circuit c = circuit::tfim_trotter_step(n, 0.15);
+  const Matrix u = build_unitary(c);
+  const linalg::EigResult eig = linalg::eig(u);
+  StateVector input(n);
+  for (index_t i = 0; i < dim(n); ++i) input[i] = eig.vectors(i, 3);
+
+  QpeOptions opt;
+  opt.bits = b;
+  opt.strategy = QpeStrategy::Eigendecomposition;
+  const QpeResult coherent = phase_estimation(c, input, opt);
+
+  // Iterative QPE samples the same distribution for eigenvector inputs:
+  // over many trials the modal outcome must match.
+  Rng rng(7);
+  std::vector<int> histogram(1 << b, 0);
+  for (int trial = 0; trial < 40; ++trial)
+    ++histogram[iterative_phase_estimation(c, input, b, rng).outcome];
+  const index_t mode = static_cast<index_t>(
+      std::max_element(histogram.begin(), histogram.end()) - histogram.begin());
+  EXPECT_EQ(mode, coherent.most_likely);
+}
+
+TEST(IterativeQpe, InputStateIsNotModified) {
+  const qubit_t n = 3;
+  const Circuit c = circuit::tfim_trotter_step(n, 0.15);
+  StateVector input(n);
+  Rng seed(3);
+  input.randomize(seed);
+  StateVector copy(n);
+  std::copy(input.amplitudes().begin(), input.amplitudes().end(),
+            copy.amplitudes().begin());
+  Rng rng(4);
+  (void)iterative_phase_estimation(c, input, 4, rng);
+  EXPECT_EQ(input.max_abs_diff(copy), 0.0);
+}
+
+TEST(QpeStrategySelection, MeasuredCostsArePositiveAndOrdered) {
+  const Circuit c = circuit::tfim_trotter_step(5, 0.1);
+  const models::QpeCosts costs = measure_qpe_costs(c);
+  EXPECT_GT(costs.t_apply_u, 0.0);
+  EXPECT_GT(costs.t_construct, 0.0);
+  EXPECT_GT(costs.t_gemm, 0.0);
+  EXPECT_GT(costs.t_eig, 0.0);
+  // One gate-level sweep is far cheaper than building the dense matrix.
+  EXPECT_LT(costs.t_apply_u, costs.t_construct);
+}
+
+TEST(QpeStrategySelection, ScalingFollowsComplexityExponents) {
+  models::QpeCosts c{1e-4, 1e-3, 1e-2, 1e-1};
+  const models::QpeCosts up = scale_qpe_costs(c, 8, 10, 29, 37);
+  EXPECT_NEAR(up.t_apply_u, 1e-4 * 4.0 * 37.0 / 29.0, 1e-12);
+  EXPECT_NEAR(up.t_construct, 1e-3 * 16.0 * 37.0 / 29.0, 1e-12);
+  EXPECT_NEAR(up.t_gemm, 1e-2 * 64.0, 1e-12);
+  EXPECT_NEAR(up.t_eig, 1e-1 * 64.0, 1e-12);
+  EXPECT_THROW(scale_qpe_costs(c, 8, 7, 29, 25), std::invalid_argument);
+}
+
+TEST(QpeStrategySelection, ChoosesByPredictedTime) {
+  // Paper Table 2 n = 8 column: simulation below 6 bits, repeated
+  // squaring from 6, eigendecomposition once (2^b-1)*t_apply exceeds
+  // construct + t_eig AND t_eig beats b squarings.
+  models::QpeCosts c{1.44e-4, 7.60e-4, 8.39e-4, 9.60e-2};
+  EXPECT_EQ(choose_qpe_strategy(c, 3), QpeStrategy::SimulateCircuit);
+  EXPECT_EQ(choose_qpe_strategy(c, 5), QpeStrategy::SimulateCircuit);
+  EXPECT_EQ(choose_qpe_strategy(c, 6), QpeStrategy::RepeatedSquaring);
+  EXPECT_EQ(choose_qpe_strategy(c, 20), QpeStrategy::RepeatedSquaring);
+  // With a cheap eigensolver relative to squarings, eig wins at high b.
+  models::QpeCosts c2{1.44e-4, 7.60e-4, 9.60e-2, 8.39e-4};
+  EXPECT_EQ(choose_qpe_strategy(c2, 20), QpeStrategy::Eigendecomposition);
+}
+
+TEST(Qpe, RejectsBadArguments) {
+  const Circuit c = circuit::tfim_trotter_step(3, 0.1);
+  StateVector wrong(4);
+  QpeOptions opt;
+  EXPECT_THROW(phase_estimation(c, wrong, opt), std::invalid_argument);
+  StateVector ok(3);
+  opt.bits = 0;
+  EXPECT_THROW(phase_estimation(c, ok, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qc::emu
