@@ -105,4 +105,33 @@ Circuit random_classical_circuit(qubit_t n, std::size_t gate_count, Rng& rng) {
   return c;
 }
 
+Circuit random_dense_circuit(qubit_t n, std::size_t gate_count, Rng& rng) {
+  Circuit c(n);
+  auto pick_qubit = [&] { return static_cast<qubit_t>(rng.uniform_u64(n)); };
+  auto pick_distinct = [&](qubit_t a) {
+    qubit_t b = pick_qubit();
+    while (b == a) b = pick_qubit();
+    return b;
+  };
+  const std::uint64_t choices = n >= 2 ? 6 : 4;
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    const auto choice = rng.uniform_u64(choices);
+    const qubit_t q = pick_qubit();
+    switch (choice) {
+      case 0: c.h(q); break;
+      case 1: c.rx(q, rng.uniform(0, 2 * std::numbers::pi)); break;
+      case 2: c.ry(q, rng.uniform(0, 2 * std::numbers::pi)); break;
+      case 3: {
+        // Random single-qubit unitary drawn Haar-like via 2x2 QR.
+        const linalg::Matrix u = linalg::Matrix::random_unitary(2, rng);
+        c.u2(q, {u(0, 0), u(0, 1), u(1, 0), u(1, 1)});
+        break;
+      }
+      case 4: c.cnot(q, pick_distinct(q)); break;
+      case 5: c.cr(q, pick_distinct(q), rng.uniform(0, 2 * std::numbers::pi)); break;
+    }
+  }
+  return c;
+}
+
 }  // namespace qc::circuit

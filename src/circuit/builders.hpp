@@ -35,4 +35,11 @@ Circuit random_circuit(qubit_t n, std::size_t gate_count, Rng& rng);
 /// (X / CNOT / Toffoli), exercising the BitVm-vs-state-vector tests.
 Circuit random_classical_circuit(qubit_t n, std::size_t gate_count, Rng& rng);
 
+/// Random circuit of dense (non-diagonal, non-permutation) gates — H,
+/// Rx, Ry, random U2, CNOT, CR on adjacent-random qubits. No gate has a
+/// cheap specialized path, so every unfused gate costs a full pair
+/// sweep; the gate-fusion ablation bench uses it as the workload where
+/// fusion's fewer-memory-passes win is purest.
+Circuit random_dense_circuit(qubit_t n, std::size_t gate_count, Rng& rng);
+
 }  // namespace qc::circuit

@@ -177,6 +177,18 @@ linalg::Matrix gate_operator(const Gate& g, qubit_t n) {
   return full;
 }
 
+linalg::Matrix gate_operator_on(const Gate& g, std::span<const qubit_t> qubits) {
+  const auto local = [&](qubit_t q) {
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      if (qubits[i] == q) return static_cast<qubit_t>(i);
+    throw std::invalid_argument("gate_operator_on: gate qubit not in subset");
+  };
+  Gate lg = g;
+  for (qubit_t& t : lg.targets) t = local(t);
+  for (qubit_t& c : lg.controls) c = local(c);
+  return gate_operator(lg, static_cast<qubit_t>(qubits.size()));
+}
+
 Gate make_gate(GateKind kind, qubit_t target) {
   Gate g;
   g.kind = kind;

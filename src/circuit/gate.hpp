@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,12 @@ struct Gate {
 /// including controls — the Kronecker-product construction of the
 /// paper's Eq. (3). Intended for tests and small-n oracles only.
 [[nodiscard]] linalg::Matrix gate_operator(const Gate& g, qubit_t n);
+
+/// Dense 2^k x 2^k operator of the gate on the local register defined by
+/// `qubits` (local bit i represents global qubit qubits[i]). Every
+/// target/control of `g` must appear in `qubits`. This is how the
+/// gate-fusion pass folds a gate into a k-qubit block unitary.
+[[nodiscard]] linalg::Matrix gate_operator_on(const Gate& g, std::span<const qubit_t> qubits);
 
 // --- factory helpers (used by Circuit's fluent builders) ---------------
 

@@ -1,0 +1,45 @@
+#include "fuse/fused_simulator.hpp"
+
+#include <stdexcept>
+
+#include "sim/kernels.hpp"
+
+namespace qc::fuse {
+
+void FusedSimulator::apply_gate(sim::StateVector& sv, const circuit::Gate& g) const {
+  hpc_.apply_gate(sv, g);
+}
+
+FusedCircuit FusedSimulator::plan(const circuit::Circuit& c) const {
+  return fuse_circuit(c, opts_.fusion);
+}
+
+void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) const {
+  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
+  const auto a = sv.amplitudes();
+  for (const FusedItem& item : plan.items) {
+    if (item.kind == FusedItem::Kind::Passthrough) {
+      hpc_.apply_gate(sv, item.gate);
+      continue;
+    }
+    const FusedOp& op = item.block;
+    if (op.diagonal) {
+      // All folded gates were diagonal, so the block unitary is too:
+      // apply just its diagonal in one multiply-only sweep.
+      const index_t block = dim(op.width());
+      std::vector<complex_t> d(block);
+      for (index_t b = 0; b < block; ++b) d[b] = op.unitary(b, b);
+      sim::kernels::apply_multi_diagonal(a, sv.qubits(), op.qubits, d);
+      continue;
+    }
+    sim::kernels::apply_multi(a, sv.qubits(), op.qubits,
+                              {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
+  }
+}
+
+void FusedSimulator::run(sim::StateVector& sv, const circuit::Circuit& c) const {
+  if (c.qubits() != sv.qubits()) throw std::invalid_argument("run: qubit count mismatch");
+  execute(sv, plan(c));
+}
+
+}  // namespace qc::fuse

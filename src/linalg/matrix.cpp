@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
 
 namespace qc::linalg {
 
@@ -155,6 +158,49 @@ void Matrix::matvec(std::span<const complex_t> x, std::span<complex_t> y) const 
     for (std::size_t j = 0; j < cols_; ++j) acc += row_i[j] * x[j];
     y[i] = acc;
   }
+}
+
+Matrix embed_operator(const Matrix& u, std::span<const qubit_t> u_qubits,
+                      std::span<const qubit_t> into_qubits) {
+  const std::size_t k = u_qubits.size();
+  const std::size_t m = into_qubits.size();
+  if (u.rows() != dim(static_cast<qubit_t>(k)) || !u.square())
+    throw std::invalid_argument("embed_operator: matrix dimension != 2^|u_qubits|");
+  // Map each u label to its bit position in the target space.
+  std::vector<qubit_t> pos(k);
+  index_t used = 0;  // bitmask over positions of into_qubits claimed by u
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto it = std::find(into_qubits.begin(), into_qubits.end(), u_qubits[i]);
+    if (it == into_qubits.end())
+      throw std::invalid_argument("embed_operator: u_qubits not a subset of into_qubits");
+    pos[i] = static_cast<qubit_t>(it - into_qubits.begin());
+    used = bits::set(used, pos[i]);
+  }
+  std::vector<qubit_t> rest;
+  for (qubit_t j = 0; j < m; ++j)
+    if (!bits::test(used, j)) rest.push_back(j);
+
+  const auto spread = [](index_t bits_in, std::span<const qubit_t> where) {
+    index_t out = 0;
+    for (std::size_t l = 0; l < where.size(); ++l)
+      if (bits::test(bits_in, static_cast<qubit_t>(l))) out = bits::set(out, where[l]);
+    return out;
+  };
+
+  const index_t block = dim(static_cast<qubit_t>(k));
+  Matrix full(dim(static_cast<qubit_t>(m)), dim(static_cast<qubit_t>(m)));
+  for (index_t r = 0; r < dim(static_cast<qubit_t>(rest.size())); ++r) {
+    const index_t base = spread(r, rest);
+    for (index_t uc = 0; uc < block; ++uc) {
+      const index_t col = base | spread(uc, pos);
+      for (index_t ur = 0; ur < block; ++ur) {
+        const complex_t v = u(ur, uc);
+        if (v == complex_t{}) continue;
+        full(base | spread(ur, pos), col) = v;
+      }
+    }
+  }
+  return full;
 }
 
 Matrix Matrix::kron(const Matrix& o) const {

@@ -107,4 +107,14 @@ class Matrix {
   aligned_vector<complex_t> data_;
 };
 
+/// Expands a 2^k x 2^k operator over the qubit subset `u_qubits` into a
+/// 2^m x 2^m operator over the superset `into_qubits` (identity on the
+/// extra qubits). Local bit i of `u` corresponds to label u_qubits[i];
+/// local bit j of the result to into_qubits[j]. Every label in
+/// `u_qubits` must appear in `into_qubits`. This is the subset-embedding
+/// generalization of the paper's Eq. (3) Kronecker construction, used by
+/// the gate-fusion pass to widen a block unitary before composing.
+[[nodiscard]] Matrix embed_operator(const Matrix& u, std::span<const qubit_t> u_qubits,
+                                    std::span<const qubit_t> into_qubits);
+
 }  // namespace qc::linalg

@@ -108,6 +108,125 @@ void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index
   }
 }
 
+namespace {
+
+/// Spreads the k local bits of every b in [0, 2^k) to the global
+/// positions `targets`, so base | offs[b] walks one amplitude block.
+template <index_t B>
+std::array<index_t, B> block_offsets(std::span<const qubit_t> targets) {
+  std::array<index_t, B> offs{};
+  for (index_t b = 0; b < B; ++b) {
+    index_t o = 0;
+    for (std::size_t l = 0; l < targets.size(); ++l)
+      if (bits::test(b, static_cast<qubit_t>(l))) o = bits::set(o, targets[l]);
+    offs[b] = o;
+  }
+  return offs;
+}
+
+/// Width-templated block apply: the compile-time block size lets the
+/// compiler fully unroll / FMA-vectorize the mat-vec, and the unitary is
+/// split once into real/imag planes so the hot loop is plain double
+/// arithmetic (std::complex products inhibit vectorization).
+template <unsigned K>
+void apply_multi_t(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                   std::span<const complex_t> u) {
+  constexpr index_t B = index_t{1} << K;
+  const BitExpander expand{targets};
+  const std::array<index_t, B> offs = block_offsets<B>(targets);
+  alignas(64) std::array<double, B * B> ur, ui;
+  for (index_t i = 0; i < B * B; ++i) {
+    ur[i] = u[i].real();
+    ui[i] = u[i].imag();
+  }
+  const index_t count = dim(n) >> K;
+#pragma omp parallel if (worth_parallelizing(count))
+  {
+    alignas(64) std::array<double, B> xr, xi, yr, yi;
+#pragma omp for schedule(static)
+    for (index_t j = 0; j < count; ++j) {
+      const index_t base = expand(j);
+      for (index_t b = 0; b < B; ++b) {
+        const complex_t v = a[base | offs[b]];
+        xr[b] = v.real();
+        xi[b] = v.imag();
+      }
+      for (index_t r = 0; r < B; ++r) {
+        const double* urow = ur.data() + r * B;
+        const double* uirow = ui.data() + r * B;
+        double accr = 0.0, acci = 0.0;
+        for (index_t c = 0; c < B; ++c) {
+          accr += urow[c] * xr[c] - uirow[c] * xi[c];
+          acci += urow[c] * xi[c] + uirow[c] * xr[c];
+        }
+        yr[r] = accr;
+        yi[r] = acci;
+      }
+      for (index_t b = 0; b < B; ++b) a[base | offs[b]] = complex_t{yr[b], yi[b]};
+    }
+  }
+}
+
+/// Generic fallback for the widest blocks (heap-sized scratch).
+void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                         std::span<const complex_t> u) {
+  const auto k = static_cast<qubit_t>(targets.size());
+  const index_t block = dim(k);
+  const BitExpander expand{targets};
+  const auto offs = block_offsets<dim(kMaxFusedWidth)>(targets);
+  const complex_t* um = u.data();
+  const index_t count = dim(n) >> k;
+#pragma omp parallel if (worth_parallelizing(count))
+  {
+    std::vector<complex_t> x(block), y(block);
+#pragma omp for schedule(static)
+    for (index_t j = 0; j < count; ++j) {
+      const index_t base = expand(j);
+      for (index_t b = 0; b < block; ++b) x[b] = a[base | offs[b]];
+      for (index_t r = 0; r < block; ++r) {
+        const complex_t* row = um + r * block;
+        complex_t acc{};
+        for (index_t c = 0; c < block; ++c) acc += row[c] * x[c];
+        y[r] = acc;
+      }
+      for (index_t b = 0; b < block; ++b) a[base | offs[b]] = y[b];
+    }
+  }
+}
+
+}  // namespace
+
+void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                 std::span<const complex_t> u) {
+  const auto k = static_cast<qubit_t>(targets.size());
+  assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
+  assert(u.size() == dim(k) * dim(k));
+  assert(std::is_sorted(targets.begin(), targets.end()));
+  switch (k) {
+    case 1: return apply_multi_t<1>(a, n, targets, u);
+    case 2: return apply_multi_t<2>(a, n, targets, u);
+    case 3: return apply_multi_t<3>(a, n, targets, u);
+    case 4: return apply_multi_t<4>(a, n, targets, u);
+    case 5: return apply_multi_t<5>(a, n, targets, u);
+    case 6: return apply_multi_t<6>(a, n, targets, u);
+    default: return apply_multi_generic(a, n, targets, u);
+  }
+}
+
+void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                          std::span<const complex_t> d) {
+  const auto k = static_cast<qubit_t>(targets.size());
+  assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
+  assert(d.size() == dim(k));
+  const index_t size = dim(n);
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) {
+    index_t b = 0;
+    for (qubit_t l = 0; l < k; ++l) b |= bits::get(i, targets[l]) << l;
+    a[i] *= d[b];
+  }
+}
+
 void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms) {
   const index_t size = a.size();
 #pragma omp parallel for schedule(static) if (worth_parallelizing(size))

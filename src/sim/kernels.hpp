@@ -116,6 +116,31 @@ struct DiagonalTerm {
 void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms);
 
 // ---------------------------------------------------------------------
+// k-qubit dense tier (gate fusion).
+// ---------------------------------------------------------------------
+
+/// Widest fused block apply_multi supports. Bounds the per-thread gather
+/// scratch (2^k amplitudes) and the fused unitary (2^k x 2^k); beyond
+/// ~6 qubits the per-amplitude mat-vec work dominates the memory-pass
+/// saving anyway (see bench/ablation_fusion).
+inline constexpr qubit_t kMaxFusedWidth = 8;
+
+/// Applies a dense 2^k x 2^k unitary `u` (row-major) to the k qubits
+/// `targets` (strictly ascending global labels, k in [1, kMaxFusedWidth])
+/// in one sweep: for each of the 2^{n-k} outer indices, gathers the
+/// 2^k-amplitude block, multiplies by `u`, scatters back. This is the
+/// generalized-BitExpander execution engine for fused gate blocks: one
+/// memory pass replaces one pass per original gate.
+void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                 std::span<const complex_t> u);
+
+/// Diagonal specialization of apply_multi: multiplies each amplitude by
+/// the diagonal entry `d[b]` selected by its k target bits (d has 2^k
+/// entries). Single in-place sweep, no gather/scatter.
+void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                          std::span<const complex_t> d);
+
+// ---------------------------------------------------------------------
 // Permutation / phase templates (inlined per callsite; used by the
 // emulator's classical-function shortcut and by tests).
 // ---------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fuse/fused_simulator.hpp"
+
 namespace qc::sim {
 
 using circuit::Gate;
@@ -117,6 +119,7 @@ std::unique_ptr<Simulator> make_simulator(const std::string& name) {
   if (name == "hpc") return std::make_unique<HpcSimulator>();
   if (name == "qhipster-like") return std::make_unique<QhipsterLikeSimulator>();
   if (name == "liquid-like") return std::make_unique<LiquidLikeSimulator>();
+  if (name == "fused") return std::make_unique<fuse::FusedSimulator>();
   throw std::invalid_argument("make_simulator: unknown simulator '" + name + "'");
 }
 

@@ -87,7 +87,9 @@ class HpcSimulator final : public Simulator {
   Options opts_;
 };
 
-/// Factory by name ("hpc", "qhipster-like", "liquid-like") for benches.
+/// Factory by name ("hpc", "qhipster-like", "liquid-like", "fused") for
+/// benches and tools. "fused" is fuse::FusedSimulator — the gate-fusion
+/// backend layered on top of HpcSimulator's fast paths.
 std::unique_ptr<Simulator> make_simulator(const std::string& name);
 
 }  // namespace qc::sim
