@@ -116,6 +116,18 @@ void BM_FftFusedPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_FftFusedPairs)->Arg(20)->Arg(24);
 
+void BM_FftStockham(benchmark::State& state) {
+  const qubit_t n = static_cast<qubit_t>(state.range(0));
+  Rng rng(n);
+  aligned_vector<complex_t> v(dim(n)), scratch(dim(n));
+  for (auto& x : v) x = rng.normal_complex();
+  const fft::FftPlan plan(n, fft::Sign::Positive, fft::Schedule::Stockham);
+  for (auto _ : state) plan.execute(v, {scratch.data(), scratch.size()}, fft::Norm::None);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim(n) * sizeof(complex_t) * n));
+}
+BENCHMARK(BM_FftStockham)->Arg(20)->Arg(24);
+
 void BM_FftUnplanned(benchmark::State& state) {
   const qubit_t n = static_cast<qubit_t>(state.range(0));
   Rng rng(n);

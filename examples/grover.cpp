@@ -1,21 +1,20 @@
-// Grover search with an emulated oracle.
+// Grover search with an emulated oracle, as one engine::Program.
 //
-// The oracle — "is x the marked item?" — is a classical predicate. A
-// gate-level simulator would compile it into a reversible network with
-// work qubits; the emulator applies the phase flip directly per basis
-// state (the §3.1 shortcut applied to a predicate instead of
-// arithmetic). The diffusion operator runs as ordinary gates.
+// The oracle — "is x the marked item?" — is a classical predicate,
+// expressed as a first-class phase_oracle op. On the default "auto"
+// backend it runs as one in-place phase sweep per iteration (§3.1
+// applied to a predicate); the diffusion operator is an ordinary gate
+// segment. Pass --backend hpc (or fused, qhipster-like, liquid-like)
+// and the engine lowers the same program to gates — the oracle becomes
+// the X-conjugated multi-controlled-Z network a simulator must pay for.
 //
-// Run: ./grover [--qubits 12] [--marked 1234]
+// Run: ./grover [--qubits 12] [--marked 1234] [--backend auto]
 #include <cmath>
 #include <cstdio>
 #include <numbers>
 
 #include "common/cli.hpp"
-#include "common/timer.hpp"
-#include "circuit/builders.hpp"
-#include "emu/emulator.hpp"
-#include "sim/simulator.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace qc;
@@ -27,14 +26,6 @@ int main(int argc, char** argv) {
   std::printf("Grover search over %llu items for marked item %llu\n",
               static_cast<unsigned long long>(dim(n)),
               static_cast<unsigned long long>(marked));
-
-  sim::StateVector sv(n);
-  const sim::HpcSimulator simulator;
-  {
-    circuit::Circuit h(n);
-    for (qubit_t q = 0; q < n; ++q) h.h(q);
-    simulator.run(sv, h);
-  }
 
   // Diffusion operator: H^n X^n (C^{n-1}Z) X^n H^n.
   circuit::Circuit diffusion(n);
@@ -52,28 +43,30 @@ int main(int argc, char** argv) {
       std::round(std::numbers::pi / 4.0 * std::sqrt(static_cast<double>(dim(n)))));
   std::printf("running %d Grover iterations (pi/4 sqrt(N))\n", iterations);
 
-  emu::Emulator emu(sv);
-  WallTimer timer;
+  engine::Program program(n);
+  for (qubit_t q = 0; q < n; ++q) program.h(q);
   for (int it = 0; it < iterations; ++it) {
-    // Emulated oracle (§3.1 applied to a predicate): one in-place phase
-    // sweep; a simulator would pay an X-conjugated multi-controlled-Z
-    // network with work qubits here.
-    emu.apply_phase_oracle([marked](index_t i) { return i == marked; });
-    simulator.run(sv, diffusion);
+    program.phase_oracle([marked](index_t i) { return i == marked; });
+    program.gates(diffusion);
   }
-  const double seconds = timer.seconds();
+
+  engine::RunOptions opts;
+  opts.backend = cli.get_string("backend", "auto");
+  const engine::Result result = engine::Engine().run(program, opts);
 
   // Read out the answer from the exact distribution (§3.4 shortcut).
   index_t best = 0;
   double best_p = 0;
-  const auto dist = sv.register_distribution(0, n);
+  const auto dist = result.state.register_distribution(0, n);
   for (index_t i = 0; i < dist.size(); ++i)
     if (dist[i] > best_p) {
       best_p = dist[i];
       best = i;
     }
-  std::printf("most likely outcome: %llu with probability %.4f (in %.3f s)\n",
-              static_cast<unsigned long long>(best), best_p, seconds);
+  std::printf("most likely outcome: %llu with probability %.4f "
+              "(backend %s, %.3f s)\n",
+              static_cast<unsigned long long>(best), best_p, result.backend.c_str(),
+              result.total_seconds);
   std::printf("%s\n", best == marked ? "FOUND the marked item" : "FAILED");
   return best == marked ? 0 : 1;
 }

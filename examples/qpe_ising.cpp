@@ -14,8 +14,8 @@
 #include "circuit/builders.hpp"
 #include "common/cli.hpp"
 #include "emu/qpe.hpp"
+#include "engine/engine.hpp"
 #include "models/perf_model.hpp"
-#include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace qc;
@@ -61,5 +61,20 @@ int main(int argc, char** argv) {
   std::printf("\ncrossover rules of thumb: emulation wins when b >= 2n = %u (GEMM),\n"
               "b > 1.8n = %.1f (Strassen), b > n = %u (coherent QPE + eig).\n",
               2 * n, models::asymptotic_crossover_strassen(n), n);
+
+  // --- bonus: Trotter evolution through the engine front door ----------
+  // The same Trotter step as an engine Program — gate segments
+  // interleaved with exact one-pass <Z_i Z_{i+1}> readouts (§3.4), with
+  // the per-op wall-clock trace the perf models calibrate against.
+  engine::Program evolution(n);
+  for (int step = 0; step < 4; ++step) {
+    evolution.gates(u);
+    evolution.expectation_z(0b11);  // nearest-neighbor ZZ correlator
+  }
+  const engine::Result evolved = engine::Engine().run(evolution);
+  std::printf("\n4 Trotter steps via engine::Engine (auto backend):\n");
+  for (std::size_t i = 0; i < evolved.expectations.size(); ++i)
+    std::printf("  after step %zu: <Z0 Z1> = %+.4f  (%.6f s/step)\n", i + 1,
+                evolved.expectations[i], evolved.trace[2 * i].seconds);
   return 0;
 }

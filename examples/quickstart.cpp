@@ -1,69 +1,72 @@
-// Quickstart: the 60-second tour of the library.
+// Quickstart: the 60-second tour of the library, through its front door.
 //
-//  1. build a circuit and simulate it gate by gate;
-//  2. measure, collapse, and read distributions;
-//  3. do the same work through the emulator's shortcuts and check that
-//     the results agree (the paper's core contract).
+//  1. build one engine::Program mixing gate segments with high-level ops
+//     (arithmetic, QFT, measurement — the paper's §3 shortcuts);
+//  2. run it on the "auto" backend: high-level ops execute at their
+//     mathematical description, gate segments on the fused simulator;
+//  3. run the *same program* on a gate-level backend ("hpc"): the engine
+//     lowers every shortcut to a reversible network first — and the
+//     states agree to 1e-12 (the paper's core contract);
+//  4. read the per-op wall-clock trace that makes the emulation-vs-
+//     simulation gap visible.
 //
 // Run: ./quickstart
 #include <cstdio>
 
-#include "circuit/builders.hpp"
-#include "emu/emulator.hpp"
-#include "emu/observables.hpp"
-#include "sim/simulator.hpp"
+#include "engine/engine.hpp"
 
 int main() {
   using namespace qc;
 
-  // --- 1. gate-level simulation ---------------------------------------
-  const qubit_t n = 4;
-  sim::StateVector sv(n);
+  // --- 1. one program, gate-level and high-level ops mixed -------------
+  const qubit_t n = 6;
+  engine::Program program(n);
+  program.h(0).cnot(0, 1)                      // gate segment: Bell pair
+      .multiply({0, 2}, {2, 2}, {4, 2})        // §3.1: c += a*b, one permutation
+      .qft({0, 4})                             // §3.2: QFT as an FFT
+      .inverse_qft({0, 4})
+      .expectation_z(0b11)                     // §3.4: exact <Z0 Z1>, one pass
+      .measure({0, 2});                        // sampled from the exact distribution
+  std::printf("%s\n", program.to_string().c_str());
 
-  circuit::Circuit bell(n);
-  bell.h(0).cnot(0, 1);  // Bell pair on qubits 0, 1
+  // --- 2. run on the auto backend (emulation shortcuts) ----------------
+  engine::RunOptions opts;
+  opts.backend = "auto";
+  opts.seed = 7;
+  const engine::Engine eng;
+  const engine::Result emulated = eng.run(program, opts);
+  std::printf("auto backend: <Z0 Z1> = %+.3f, measured a = %llu\n",
+              emulated.expectations[0],
+              static_cast<unsigned long long>(emulated.measurements[0]));
 
-  const sim::HpcSimulator simulator;
-  simulator.run(sv, bell);
+  // --- 3. same program, gate-level backend -----------------------------
+  // The engine lowers multiply to the Cuccaro shift-and-add network
+  // (plus a carry ancilla it appends and projects away) and the QFTs to
+  // the O(n^2) gate cascade. Same seed, same outcomes, same state.
+  opts.backend = "hpc";
+  const engine::Result simulated = eng.run(program, opts);
+  std::printf("hpc backend:  <Z0 Z1> = %+.3f, measured a = %llu "
+              "(ran on %u qubits incl. ancillas)\n",
+              simulated.expectations[0],
+              static_cast<unsigned long long>(simulated.measurements[0]),
+              simulated.run_qubits);
+  const double diff = emulated.state.max_abs_diff(simulated.state);
+  std::printf("max |state difference| = %.2e\n\n", diff);
 
-  std::printf("Bell state amplitudes (|q3 q2 q1 q0>):\n");
-  for (index_t i = 0; i < sv.size(); ++i)
-    if (std::abs(sv[i]) > 1e-12)
-      std::printf("  |%llu> : %+.4f %+.4fi\n", static_cast<unsigned long long>(i),
-                  sv[i].real(), sv[i].imag());
+  // --- 4. the per-op trace ---------------------------------------------
+  std::printf("per-op trace (auto backend):\n");
+  for (const engine::OpTrace& t : emulated.trace)
+    std::printf("  %-28s %9.6f s\n", t.op.c_str(), t.seconds);
 
-  // Correlations of the pair: <Z0 Z1> = 1, <Z0> = 0.
-  std::printf("<Z0 Z1> = %+.3f   <Z0> = %+.3f\n",
-              emu::expectation_z_string(sv, 0b11), emu::expectation_z_string(sv, 0b01));
+  std::printf("\nregistered backends:");
+  for (const std::string& name : engine::backend_names())
+    std::printf(" %s", name.c_str());
+  std::printf("\n");
 
-  // --- 2. measurement --------------------------------------------------
-  Rng rng(7);
-  const int outcome = sv.measure_and_collapse(0, rng);
-  std::printf("measured qubit 0 -> %d; qubit 1 now gives 1 with p = %.3f\n", outcome,
-              sv.probability_of_one(1));
-
-  // --- 3. emulation shortcuts ------------------------------------------
-  // QFT as an FFT (paper §3.2) vs the O(n^2)-gate circuit.
-  sim::StateVector a(n), b(n);
-  Rng seed(42);
-  a.randomize(seed);
-  std::copy(a.amplitudes().begin(), a.amplitudes().end(), b.amplitudes().begin());
-
-  simulator.run(a, circuit::qft(n));  // gate-level
-  emu::Emulator emulator(b);
-  emulator.qft();  // one FFT
-
-  std::printf("QFT circuit vs emulated FFT: max |diff| = %.2e\n", a.max_abs_diff(b));
-
-  // Arithmetic as a permutation (paper §3.1): c += a*b on 2-bit registers.
-  sim::StateVector arith(6);
-  arith.set_basis(0b10 | (0b11 << 2));  // a = 2, b = 3, c = 0
-  emu::Emulator em2(arith);
-  em2.multiply({0, 2}, {2, 2}, {4, 2});
-  for (index_t i = 0; i < arith.size(); ++i)
-    if (std::abs(arith[i]) > 1e-12)
-      std::printf("after multiply: basis %llu (c = a*b mod 4 = %llu)\n",
-                  static_cast<unsigned long long>(i),
-                  static_cast<unsigned long long>(bits::field(i, 4, 2)));
+  if (diff > 1e-12 || emulated.measurements[0] != simulated.measurements[0]) {
+    std::printf("MISMATCH between auto and hpc backends\n");
+    return 1;
+  }
+  std::printf("ok: auto and hpc agree to 1e-12\n");
   return 0;
 }

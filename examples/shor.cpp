@@ -1,24 +1,28 @@
-// Shor's algorithm, emulated — the paper's flagship use case (§3.1
-// names Shor as the most famous application of classical functions on a
-// quantum computer).
+// Shor's algorithm — the paper's flagship use case (§3.1 names Shor as
+// the most famous application of classical functions on a quantum
+// computer), written as one four-op engine::Program:
 //
-// The quantum order-finding core runs on the emulator:
-//   * modular exponentiation |e>|1> -> |e>|a^e mod N> as ONE amplitude
-//     permutation (no reversible modular-arithmetic network, no work
-//     qubits);
-//   * the inverse QFT on the exponent register as a batched FFT;
-//   * measurement statistics from the exact distribution.
-// Classical pre/post-processing (gcd, continued fractions) completes the
-// factorization.
+//   Hadamards on the exponent register   (gate segment)
+//   x += a^e mod N                       (apply_function op)
+//   inverse QFT on the exponent          (inverse_qft op)
+//   measure the exponent                 (measure op)
 //
-// Run: ./shor [--N 15] [--a 7] [--seed 1]
+// On the default "auto" backend the function evaluation is ONE
+// amplitude permutation (no reversible modular-arithmetic network, no
+// work qubits), the inverse QFT a batched FFT, and the measurement a
+// single pass over the exact distribution. The same program lowers to a
+// full gate-level run on any registered simulator (see
+// shor_gate_level / --backend). Classical pre/post-processing (gcd,
+// continued fractions) completes the factorization.
+//
+// Run: ./shor [--N 15] [--a 7] [--seed 1] [--backend auto]
 #include <cstdio>
 #include <numeric>
+#include <string>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
-#include "emu/emulator.hpp"
-#include "sim/simulator.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -53,43 +57,26 @@ index_t best_denominator(index_t x, unsigned bits, index_t max_den) {
   return q1 == 0 ? 1 : q1;
 }
 
-/// One emulated order-finding run: returns a candidate order of a mod N.
-index_t find_order(index_t a, index_t N, Rng& rng) {
+/// One order-finding run through the engine: returns a candidate order
+/// of a mod N.
+index_t find_order(index_t a, index_t N, Rng& rng, const std::string& backend) {
   qubit_t work = 1;
   while (dim(work) < N + 1) ++work;
-  const unsigned t_bits = 2 * work + 1;  // standard precision choice
-  const qubit_t total = static_cast<qubit_t>(t_bits) + work;
+  const qubit_t t_bits = 2 * work + 1;  // standard precision choice
 
-  sim::StateVector sv(total);
-  sv.set_basis(index_t{1} << t_bits);  // |0...0>|1>
-  {
-    circuit::Circuit h(total);
-    for (qubit_t q = 0; q < static_cast<qubit_t>(t_bits); ++q) h.h(q);
-    sim::HpcSimulator().run(sv, h);
-  }
-  emu::Emulator emu(sv);
-  // Emulated modular exponentiation: one permutation of the state.
-  emu.apply_permutation([&](index_t i) {
-    const index_t e = bits::field(i, 0, static_cast<qubit_t>(t_bits));
-    const index_t y = bits::field(i, static_cast<qubit_t>(t_bits), work);
-    if (y >= N) return i;
-    return bits::with_field(i, static_cast<qubit_t>(t_bits), work, y * pow_mod(a, e, N) % N);
-  });
-  // Emulated inverse QFT on the exponent register.
-  emu.inverse_qft(emu::RegRef{0, static_cast<qubit_t>(t_bits)});
+  engine::Program program(t_bits + work);
+  for (qubit_t q = 0; q < t_bits; ++q) program.h(q);
+  program
+      .apply_function({0, t_bits}, {t_bits, work},
+                      [a, N](index_t e) { return pow_mod(a, e, N); })
+      .inverse_qft({0, t_bits})
+      .measure({0, t_bits});
 
-  // Sample a measurement of the exponent register and post-process.
-  const auto dist = sv.register_distribution(0, static_cast<qubit_t>(t_bits));
-  double u = rng.uniform();
-  index_t x = 0;
-  for (index_t v = 0; v < dist.size(); ++v) {
-    u -= dist[v];
-    if (u <= 0) {
-      x = v;
-      break;
-    }
-  }
-  return best_denominator(x, t_bits, N);
+  engine::RunOptions opts;
+  opts.backend = backend;
+  opts.seed = rng.next_u64();
+  const engine::Result result = engine::Engine().run(program, opts);
+  return best_denominator(result.measurements[0], t_bits, N);
 }
 
 }  // namespace
@@ -99,9 +86,10 @@ int main(int argc, char** argv) {
   const index_t N = static_cast<index_t>(cli.get_int("N", 15));
   index_t a = static_cast<index_t>(cli.get_int("a", 0));
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const std::string backend = cli.get_string("backend", "auto");
 
-  std::printf("Shor's algorithm (emulated order finding), N = %llu\n",
-              static_cast<unsigned long long>(N));
+  std::printf("Shor's algorithm (order finding on the '%s' backend), N = %llu\n",
+              backend.c_str(), static_cast<unsigned long long>(N));
   if (N % 2 == 0) {
     std::printf("N is even: trivial factor 2.\n");
     return 0;
@@ -115,7 +103,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(a), static_cast<unsigned long long>(g));
       continue;
     }
-    index_t r = find_order(a, N, rng);
+    index_t r = find_order(a, N, rng, backend);
     // The sampled denominator may be a divisor of the order; grow it.
     while (r < N && pow_mod(a, r, N) != 1) r *= 2;
     if (r == 0 || pow_mod(a, r, N) != 1 || r % 2 == 1) {

@@ -9,15 +9,14 @@
 // sub-circuits. Both produce the identical exponent-register
 // distribution; the wall-clock gap is the paper's whole argument.
 //
-// Run: ./shor_gate_level [--N 15] [--a 7] [--t 8]
+// Run: ./shor_gate_level [--N 15] [--a 7] [--t 8] [--backend hpc]
 #include <cstdio>
 
 #include "circuit/builders.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
-#include "emu/emulator.hpp"
+#include "engine/engine.hpp"
 #include "revcirc/modular.hpp"
-#include "sim/simulator.hpp"
 
 namespace {
 
@@ -52,6 +51,9 @@ int main(int argc, char** argv) {
   std::printf("emulated:   %u qubits (no work registers at all)\n\n", t + w);
 
   // --- gate-level simulation -------------------------------------------
+  // The Beauregard circuit runs as an engine Program with one gate
+  // segment, so any registered gate-level backend can execute it
+  // (--backend hpc | fused | qhipster-like | liquid-like).
   circuit::Circuit full = revcirc::order_finding_circuit(layout, a, N);
   {
     // Inverse QFT on the exponent register to finish QPE.
@@ -59,13 +61,17 @@ int main(int argc, char** argv) {
     iqft.compose_mapped(circuit::inverse_qft(t), layout.exponent);
     full.compose(iqft);
   }
-  sim::StateVector gate_sv(layout.total_qubits());
+  engine::Program gate_program(layout.total_qubits());
+  gate_program.gates(full);
+  engine::RunOptions gate_opts;
+  gate_opts.backend = cli.get_string("backend", "hpc");
+  const engine::Result gate_result = engine::Engine().run(gate_program, gate_opts);
+  const double t_gate = gate_result.total_seconds;
+  std::printf("simulation: %zu gates on %u qubits ('%s')  %.4f s\n", full.size(),
+              layout.total_qubits(), gate_result.backend.c_str(), t_gate);
+
   const sim::HpcSimulator hpc;
   WallTimer timer;
-  hpc.run(gate_sv, full);
-  const double t_gate = timer.seconds();
-  std::printf("simulation: %zu gates on %u qubits         %.4f s\n", full.size(),
-              layout.total_qubits(), t_gate);
 
   // --- emulation ---------------------------------------------------------
   sim::StateVector emu_sv(t + w);
@@ -89,7 +95,7 @@ int main(int argc, char** argv) {
   std::printf("speedup: %.0fx\n\n", t_gate / t_emu);
 
   // --- agreement ----------------------------------------------------------
-  const auto dist_gate = gate_sv.register_distribution(0, t);
+  const auto dist_gate = gate_result.state.register_distribution(0, t);
   const auto dist_emu = emu_sv.register_distribution(0, t);
   double max_diff = 0;
   for (index_t x = 0; x < dist_gate.size(); ++x)

@@ -9,20 +9,16 @@
 
 namespace qc::emu {
 
-namespace {
-
-void check_disjoint(std::initializer_list<RegRef> regs, qubit_t n) {
+void check_regs(std::initializer_list<RegRef> regs, qubit_t n) {
   index_t seen = 0;
   for (const RegRef& r : regs) {
     if (r.width == 0 || r.offset + r.width > n)
-      throw std::invalid_argument("Emulator: register out of range");
+      throw std::invalid_argument("check_regs: register out of range");
     const index_t mask = bits::low_mask(r.width) << r.offset;
-    if (seen & mask) throw std::invalid_argument("Emulator: registers overlap");
+    if (seen & mask) throw std::invalid_argument("check_regs: registers overlap");
     seen |= mask;
   }
 }
-
-}  // namespace
 
 void Emulator::ensure_scratch() {
   if (scratch_.size() != sv_->size()) scratch_.assign(sv_->size(), complex_t{});
@@ -56,7 +52,7 @@ void Emulator::apply_partial_map(const std::function<index_t(index_t)>& f) {
 void Emulator::multiply(RegRef a, RegRef b, RegRef c) {
   if (a.width != b.width || a.width != c.width)
     throw std::invalid_argument("multiply: widths must match");
-  check_disjoint({a, b, c}, sv_->qubits());
+  check_regs({a, b, c}, sv_->qubits());
   const index_t mask = bits::low_mask(c.width);
   ensure_scratch();
   // (va, vb, vc) -> (va, vb, vc + va*vb mod 2^w) is bijective for all vc.
@@ -72,7 +68,7 @@ void Emulator::multiply(RegRef a, RegRef b, RegRef c) {
 void Emulator::divide(RegRef a, RegRef b, RegRef c) {
   if (a.width != b.width || a.width != c.width)
     throw std::invalid_argument("divide: widths must match");
-  check_disjoint({a, b, c}, sv_->qubits());
+  check_regs({a, b, c}, sv_->qubits());
   const index_t mask = bits::low_mask(c.width);
   apply_partial_map([=](index_t i) {
     const index_t va = reg_value(i, a);
@@ -90,7 +86,7 @@ void Emulator::divide(RegRef a, RegRef b, RegRef c) {
 
 void Emulator::add(RegRef a, RegRef b) {
   if (a.width != b.width) throw std::invalid_argument("add: widths must match");
-  check_disjoint({a, b}, sv_->qubits());
+  check_regs({a, b}, sv_->qubits());
   const index_t mask = bits::low_mask(b.width);
   apply_permutation([=](index_t i) {
     return reg_replace(i, b, (reg_value(i, b) + reg_value(i, a)) & mask);
@@ -98,7 +94,7 @@ void Emulator::add(RegRef a, RegRef b) {
 }
 
 void Emulator::add_constant(RegRef r, index_t k) {
-  check_disjoint({r}, sv_->qubits());
+  check_regs({r}, sv_->qubits());
   const index_t mask = bits::low_mask(r.width);
   apply_permutation(
       [=](index_t i) { return reg_replace(i, r, (reg_value(i, r) + k) & mask); });
@@ -106,7 +102,7 @@ void Emulator::add_constant(RegRef r, index_t k) {
 
 void Emulator::apply_function(RegRef in, RegRef out,
                               const std::function<index_t(index_t)>& f) {
-  check_disjoint({in, out}, sv_->qubits());
+  check_regs({in, out}, sv_->qubits());
   const index_t mask = bits::low_mask(out.width);
   apply_permutation([&, mask](index_t i) {
     const index_t v = f(reg_value(i, in)) & mask;
@@ -115,7 +111,7 @@ void Emulator::apply_function(RegRef in, RegRef out,
 }
 
 void Emulator::multiply_mod(RegRef x, index_t k, index_t modulus) {
-  check_disjoint({x}, sv_->qubits());
+  check_regs({x}, sv_->qubits());
   if (modulus == 0 || modulus > dim(x.width))
     throw std::invalid_argument("multiply_mod: modulus out of range");
   if (std::gcd(k % modulus, modulus) != 1)
@@ -148,14 +144,16 @@ void Emulator::qft(RegRef r) { qft_impl(r, fft::Sign::Positive); }
 void Emulator::inverse_qft(RegRef r) { qft_impl(r, fft::Sign::Negative); }
 
 void Emulator::qft_impl(RegRef r, fft::Sign sign) {
-  check_disjoint({r}, sv_->qubits());
+  check_regs({r}, sv_->qubits());
   if (plan_ == nullptr || plan_->qubits() != r.width || plan_->sign() != sign)
     plan_ = std::make_unique<fft::FftPlan>(r.width, sign);
 
   const auto a = sv_->amplitudes();
   if (r.width == sv_->qubits()) {
-    // Whole register: the paper's Eq. (4) is literally one FFT call.
-    plan_->execute(a, fft::Norm::Unitary);
+    // Whole register: the paper's Eq. (4) is literally one FFT call,
+    // ping-ponged through our scratch (Stockham — no bit reversal).
+    ensure_scratch();
+    plan_->execute(a, {scratch_.data(), scratch_.size()}, fft::Norm::Unitary);
     return;
   }
   // Sub-register: batched strided FFT. For every assignment of the high

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
 
 #include "common/aligned.hpp"
@@ -32,6 +33,12 @@ struct RegRef {
   qubit_t offset = 0;
   qubit_t width = 0;
 };
+
+/// Validates that every register is nonempty, within an n-qubit state,
+/// and pairwise disjoint; throws std::invalid_argument otherwise. Shared
+/// by every Emulator register op and by engine::Program's builders —
+/// out-of-range offset+width would silently corrupt amplitudes.
+void check_regs(std::initializer_list<RegRef> regs, qubit_t n);
 
 class Emulator {
  public:

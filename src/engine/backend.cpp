@@ -1,0 +1,160 @@
+#include "engine/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "fuse/fused_simulator.hpp"
+
+namespace qc::engine {
+
+void Backend::run_highlevel(sim::StateVector&, const Op& op) {
+  throw std::logic_error("backend '" + name() + "' is gate-level and cannot run '" +
+                         op.label() + "'; lower() the program first");
+}
+
+namespace {
+
+/// Wraps a plain sim::Simulator: gate segments only.
+class GateLevelBackend final : public Backend {
+ public:
+  explicit GateLevelBackend(std::unique_ptr<sim::Simulator> s) : sim_(std::move(s)) {}
+
+  [[nodiscard]] std::string name() const override { return sim_->name(); }
+  void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+    sim_->run(sv, c);
+  }
+
+ private:
+  std::unique_ptr<sim::Simulator> sim_;
+};
+
+/// The paper's dispatch rule as a backend: high-level ops through the
+/// emu::Emulator shortcuts, gate segments through the fused simulator.
+class AutoBackend final : public Backend {
+ public:
+  explicit AutoBackend(const RunOptions& opts)
+      : fused_(fuse::FusedSimulator::Options{opts.fusion}) {}
+
+  [[nodiscard]] std::string name() const override { return "auto"; }
+  [[nodiscard]] bool emulates() const override { return true; }
+
+  void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+    fused_.run(sv, c);
+  }
+
+  void run_highlevel(sim::StateVector& sv, const Op& op) override {
+    emu::Emulator& em = emulator_for(sv);
+    switch (op.kind) {
+      case OpKind::Add: em.add(op.a, op.b); return;
+      case OpKind::Multiply: em.multiply(op.a, op.b, op.c); return;
+      case OpKind::MultiplyMod: em.multiply_mod(op.a, op.k, op.modulus); return;
+      case OpKind::Divide: em.divide(op.a, op.b, op.c); return;
+      case OpKind::ApplyFunction: em.apply_function(op.a, op.b, op.func); return;
+      case OpKind::PhaseFunction: em.apply_phase_function(op.phase_fn); return;
+      case OpKind::PhaseOracle: em.apply_phase_oracle(op.predicate); return;
+      case OpKind::Qft: em.qft(op.a); return;
+      case OpKind::InverseQft: em.inverse_qft(op.a); return;
+      default:
+        throw std::logic_error("auto backend: unexpected op '" + op.label() + "'");
+    }
+  }
+
+ private:
+  /// The Emulator binds to one StateVector and caches scratch + FFT
+  /// plans; rebuild only when the engine hands us a different state.
+  emu::Emulator& emulator_for(sim::StateVector& sv) {
+    if (emulator_ == nullptr || bound_ != &sv) {
+      emulator_ = std::make_unique<emu::Emulator>(sv);
+      bound_ = &sv;
+    }
+    return *emulator_;
+  }
+
+  fuse::FusedSimulator fused_;
+  std::unique_ptr<emu::Emulator> emulator_;
+  sim::StateVector* bound_ = nullptr;
+};
+
+struct BackendEntry {
+  BackendFactory make;
+  SimulatorFactory make_sim;  // null for emulation-only backends
+};
+
+std::map<std::string, BackendEntry>& registry() {
+  static std::map<std::string, BackendEntry> reg = [] {
+    std::map<std::string, BackendEntry> r;
+    const auto gate_level = [](SimulatorFactory sf) {
+      return BackendEntry{
+          [sf](const RunOptions&) -> std::unique_ptr<Backend> {
+            return std::make_unique<GateLevelBackend>(sf());
+          },
+          sf};
+    };
+    r["hpc"] = gate_level([] { return std::make_unique<sim::HpcSimulator>(); });
+    r["qhipster-like"] =
+        gate_level([] { return std::make_unique<sim::QhipsterLikeSimulator>(); });
+    r["liquid-like"] =
+        gate_level([] { return std::make_unique<sim::LiquidLikeSimulator>(); });
+    r["fused"] = BackendEntry{
+        [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          return std::make_unique<GateLevelBackend>(std::make_unique<fuse::FusedSimulator>(
+              fuse::FusedSimulator::Options{opts.fusion}));
+        },
+        [] { return std::make_unique<fuse::FusedSimulator>(); }};
+    r["auto"] = BackendEntry{
+        [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          return std::make_unique<AutoBackend>(opts);
+        },
+        nullptr};
+    return r;
+  }();
+  return reg;
+}
+
+[[noreturn]] void throw_unknown(const std::string& what, const std::string& name) {
+  std::string names;
+  for (const std::string& n : backend_names()) {
+    if (!names.empty()) names += ", ";
+    names += n;
+  }
+  throw std::invalid_argument(what + ": unknown backend '" + name + "' (valid: " + names +
+                              ")");
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, BackendFactory factory,
+                      SimulatorFactory sim_factory) {
+  if (name.empty() || !factory)
+    throw std::invalid_argument("register_backend: empty name or null factory");
+  auto [it, inserted] =
+      registry().emplace(name, BackendEntry{std::move(factory), std::move(sim_factory)});
+  if (!inserted)
+    throw std::invalid_argument("register_backend: '" + name + "' already registered");
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name, const RunOptions& opts) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) throw_unknown("make_backend", name);
+  return it->second.make(opts);
+}
+
+std::unique_ptr<sim::Simulator> make_gate_simulator(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) throw_unknown("make_simulator", name);
+  if (!it->second.make_sim)
+    throw std::invalid_argument("make_simulator: backend '" + name +
+                                "' emulates high-level ops and is not a plain "
+                                "sim::Simulator; run it via engine::Engine");
+  return it->second.make_sim();
+}
+
+}  // namespace qc::engine

@@ -1,0 +1,93 @@
+// Backend registry — one namespace for every way this library can
+// execute a Program.
+//
+// A Backend executes the *unitary* ops of a Program (Measure /
+// ExpectationZ are engine-handled, backend-independently). Two families:
+//
+//  * gate-level backends ("hpc", "fused", "qhipster-like",
+//    "liquid-like") wrap a sim::Simulator and only ever see gate
+//    segments — Engine::run lowers high-level ops first;
+//  * emulating backends ("auto") report emulates() == true and execute
+//    high-level ops at their mathematical description (emu::Emulator),
+//    dispatching gate segments to the fused simulator — the paper's §3
+//    contract expressed as one dispatch rule.
+//
+// register_backend() absorbs what used to be ad-hoc branches inside
+// sim::make_simulator; that factory is now a thin shim over
+// make_gate_simulator() kept for source compatibility.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/program.hpp"
+#include "fuse/fusion.hpp"
+#include "sim/simulator.hpp"
+
+namespace qc::engine {
+
+/// Per-run knobs carried into Engine::run and the backend factories.
+struct RunOptions {
+  /// Registered backend name ("auto", "hpc", "fused", ...).
+  std::string backend = "auto";
+  /// Seed for measurement sampling (one uniform draw per Measure op, in
+  /// program order — identical draw sequence on every backend).
+  std::uint64_t seed = 1;
+  /// Gate-fusion options for backends that fuse ("auto", "fused").
+  fuse::FusionOptions fusion;
+  /// Initial computational basis state |initial_basis> of the *program*
+  /// register (lowering ancillas always start at |0>).
+  index_t initial_basis = 0;
+  /// Collapse the measured register after each Measure op (off: record
+  /// the sampled outcome but leave the state untouched).
+  bool collapse_measurements = true;
+  /// Lowering options used when the backend is gate-level.
+  LowerOptions lower;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True if this backend executes high-level ops natively; false means
+  /// Engine::run must lower() the program to gates first.
+  [[nodiscard]] virtual bool emulates() const { return false; }
+
+  /// Executes a gate segment.
+  virtual void run_gates(sim::StateVector& sv, const circuit::Circuit& c) = 0;
+
+  /// Executes a high-level unitary op. Default throws std::logic_error —
+  /// gate-level backends never see one.
+  virtual void run_highlevel(sim::StateVector& sv, const Op& op);
+};
+
+using BackendFactory = std::function<std::unique_ptr<Backend>(const RunOptions&)>;
+using SimulatorFactory = std::function<std::unique_ptr<sim::Simulator>()>;
+
+/// Registers a backend under `name`. A non-null `sim_factory` marks the
+/// backend as wrapping a plain gate-level sim::Simulator, reachable
+/// through sim::make_simulator(name). Throws std::invalid_argument on a
+/// duplicate name.
+void register_backend(const std::string& name, BackendFactory factory,
+                      SimulatorFactory sim_factory = nullptr);
+
+/// Sorted names of every registered backend (builtins plus user
+/// registrations).
+[[nodiscard]] std::vector<std::string> backend_names();
+
+/// Instantiates a registered backend; unknown names throw
+/// std::invalid_argument listing backend_names().
+[[nodiscard]] std::unique_ptr<Backend> make_backend(const std::string& name,
+                                                    const RunOptions& opts = {});
+
+/// The gate-level sim::Simulator a registered backend wraps — the
+/// delegate behind sim::make_simulator. Throws std::invalid_argument for
+/// unknown names (listing the registry) and for emulation-only backends
+/// like "auto".
+[[nodiscard]] std::unique_ptr<sim::Simulator> make_gate_simulator(const std::string& name);
+
+}  // namespace qc::engine

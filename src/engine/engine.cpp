@@ -1,0 +1,102 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "emu/observables.hpp"
+
+namespace qc::engine {
+
+namespace {
+
+/// Samples a full-register outcome from the exact distribution (§3.4 —
+/// one distribution pass, one uniform draw) and optionally collapses the
+/// register to it.
+index_t measure_register(sim::StateVector& sv, RegRef r, Rng& rng, bool collapse) {
+  const std::vector<double> dist = sv.register_distribution(r.offset, r.width);
+  double u = rng.uniform();
+  index_t outcome = 0;
+  bool found = false;
+  for (index_t v = 0; v < dist.size(); ++v) {
+    u -= dist[v];
+    if (u <= 0 && dist[v] > 0) {  // never pick a zero-probability outcome
+      outcome = v;
+      found = true;
+      break;
+    }
+  }
+  if (!found)  // fp leftover past the sum: last outcome with support
+    for (index_t v = static_cast<index_t>(dist.size()); v-- > 0;)
+      if (dist[v] > 0) {
+        outcome = v;
+        break;
+      }
+  if (collapse)
+    for (qubit_t j = 0; j < r.width; ++j)
+      sv.collapse(r.offset + j, bits::test(outcome, j) ? 1 : 0);
+  return outcome;
+}
+
+}  // namespace
+
+Result Engine::run(const Program& p, const RunOptions& opts) const {
+  const std::unique_ptr<Backend> backend = make_backend(opts.backend, opts);
+  if (opts.initial_basis >= dim(p.qubits()))
+    throw std::invalid_argument("Engine::run: initial_basis outside the register");
+
+  Program lowered;
+  const Program* prog = &p;
+  if (!backend->emulates() && p.needs_lowering()) {
+    lowered = lower(p, opts.lower);
+    prog = &lowered;
+  }
+
+  sim::StateVector sv(prog->qubits());
+  sv.set_basis(opts.initial_basis);  // ancillas (high qubits) stay |0>
+  Rng rng(opts.seed);
+
+  Result res;
+  res.backend = opts.backend;
+  res.run_qubits = prog->qubits();
+  res.trace.reserve(prog->size());
+  WallTimer total;
+  for (const Op& op : prog->ops()) {
+    WallTimer t;
+    switch (op.kind) {
+      case OpKind::Measure:
+        res.measurements.push_back(
+            measure_register(sv, op.a, rng, opts.collapse_measurements));
+        break;
+      case OpKind::ExpectationZ:
+        res.expectations.push_back(emu::expectation_z_string(sv, op.mask));
+        break;
+      case OpKind::GateSegment:
+        backend->run_gates(sv, op.gates);
+        break;
+      default:
+        backend->run_highlevel(sv, op);
+    }
+    res.trace.push_back({op.label(), t.seconds()});
+  }
+  res.total_seconds = total.seconds();
+
+  if (prog->qubits() == p.qubits()) {
+    res.state = std::move(sv);
+    return res;
+  }
+  // Lowering ran on a widened register: every work ancilla must be back
+  // at |0>, which confines the state to the first 2^n amplitudes.
+  const index_t keep = dim(p.qubits());
+  double kept_norm = 0;
+  for (index_t i = 0; i < keep; ++i) kept_norm += std::norm(sv[i]);
+  if (std::abs(kept_norm - sv.norm_sq()) > 1e-9)
+    throw std::logic_error("Engine::run: lowering left work ancillas dirty");
+  res.state = sim::StateVector(p.qubits());
+  std::copy(sv.amplitudes().begin(), sv.amplitudes().begin() + static_cast<std::ptrdiff_t>(keep),
+            res.state.amplitudes().begin());
+  return res;
+}
+
+}  // namespace qc::engine

@@ -1,0 +1,52 @@
+// Engine — the library's single front door.
+//
+// Engine::run(Program, RunOptions) executes one Program end to end on
+// any registered backend and returns the final state, recorded
+// measurement outcomes, requested expectation values, and a per-op
+// wall-clock trace (the raw datapoints behind models/perf_model and the
+// BENCH json series).
+//
+// Dispatch rule (the paper's §3 contract as one API):
+//   * backend->emulates()  — high-level ops run at their mathematical
+//     description, gate segments on the fused simulator;
+//   * gate-level backend   — the program is lower()ed to elementary
+//     gates first (work ancillas appended above the program register and
+//     projected away again at the end).
+// Measure and ExpectationZ ops are engine-handled on every backend, so
+// the recorded outcomes are backend-independent given one seed.
+#pragma once
+
+#include "engine/backend.hpp"
+#include "engine/program.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qc::engine {
+
+/// One per-op timing sample of a run.
+struct OpTrace {
+  std::string op;       ///< Op::label() of the executed node.
+  double seconds = 0;   ///< Wall-clock time of this node.
+};
+
+struct Result {
+  /// Final state on the *program's* qubits (lowering ancillas verified
+  /// clean and projected away).
+  sim::StateVector state{0};
+  /// Sampled outcome of each Measure op, in program order.
+  std::vector<index_t> measurements;
+  /// Value of each ExpectationZ op, in program order.
+  std::vector<double> expectations;
+  /// Per-op wall-clock trace (of the lowered program when lowering ran).
+  std::vector<OpTrace> trace;
+  std::string backend;      ///< Backend name the run used.
+  qubit_t run_qubits = 0;   ///< Qubits actually simulated (incl. ancillas).
+  double total_seconds = 0; ///< End-to-end wall-clock time.
+};
+
+class Engine {
+ public:
+  /// Runs `p` from |opts.initial_basis> on the named backend.
+  [[nodiscard]] Result run(const Program& p, const RunOptions& opts = {}) const;
+};
+
+}  // namespace qc::engine

@@ -1,0 +1,198 @@
+#include "engine/program.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace qc::engine {
+
+std::string op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::GateSegment: return "gates";
+    case OpKind::Add: return "add";
+    case OpKind::Multiply: return "multiply";
+    case OpKind::MultiplyMod: return "multiply_mod";
+    case OpKind::Divide: return "divide";
+    case OpKind::ApplyFunction: return "apply_function";
+    case OpKind::PhaseFunction: return "phase_function";
+    case OpKind::PhaseOracle: return "phase_oracle";
+    case OpKind::Qft: return "qft";
+    case OpKind::InverseQft: return "inverse_qft";
+    case OpKind::Measure: return "measure";
+    case OpKind::ExpectationZ: return "expectation_z";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string reg_str(RegRef r) {
+  return "@" + std::to_string(r.offset) + ":" + std::to_string(r.width);
+}
+
+}  // namespace
+
+std::string Op::label() const {
+  switch (kind) {
+    case OpKind::GateSegment:
+      return "gates(" + std::to_string(gates.size()) + ")";
+    case OpKind::Add:
+      return "add(" + reg_str(a) + "," + reg_str(b) + ")";
+    case OpKind::Multiply:
+      return "multiply(" + reg_str(a) + "," + reg_str(b) + "," + reg_str(c) + ")";
+    case OpKind::MultiplyMod:
+      return "multiply_mod(" + reg_str(a) + ",k=" + std::to_string(k) +
+             ",N=" + std::to_string(modulus) + ")";
+    case OpKind::Divide:
+      return "divide(" + reg_str(a) + "," + reg_str(b) + "," + reg_str(c) + ")";
+    case OpKind::ApplyFunction:
+      return "apply_function(" + reg_str(a) + "->" + reg_str(b) + ")";
+    case OpKind::PhaseFunction: return "phase_function";
+    case OpKind::PhaseOracle: return "phase_oracle";
+    case OpKind::Qft: return "qft(" + reg_str(a) + ")";
+    case OpKind::InverseQft: return "inverse_qft(" + reg_str(a) + ")";
+    case OpKind::Measure: return "measure(" + reg_str(a) + ")";
+    case OpKind::ExpectationZ: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(mask));
+      return std::string("expectation_z(") + buf + ")";
+    }
+  }
+  return "?";
+}
+
+bool Program::needs_lowering() const {
+  for (const Op& op : ops_)
+    if (op.unitary() && op.kind != OpKind::GateSegment) return true;
+  return false;
+}
+
+circuit::Circuit& Program::open_segment() {
+  if (ops_.empty() || ops_.back().kind != OpKind::GateSegment) {
+    Op& op = ops_.emplace_back();
+    op.kind = OpKind::GateSegment;
+    op.gates = circuit::Circuit(n_);
+  }
+  return ops_.back().gates;
+}
+
+Op& Program::push(OpKind kind) {
+  Op& op = ops_.emplace_back();
+  op.kind = kind;
+  return op;
+}
+
+Program& Program::gate(circuit::Gate g) {
+  open_segment().append(std::move(g));  // Circuit::append validates qubits
+  return *this;
+}
+
+Program& Program::gates(circuit::Circuit&& c) {
+  if (c.qubits() != n_)
+    throw std::invalid_argument("Program::gates: qubit count mismatch");
+  // Always a fresh segment: one gates() call is one traceable unit (and
+  // lower() uses it to keep one segment per lowered source op).
+  Op& op = push(OpKind::GateSegment);
+  op.gates = std::move(c);
+  return *this;
+}
+
+Program& Program::add(RegRef a, RegRef b) {
+  if (a.width != b.width) throw std::invalid_argument("Program::add: widths must match");
+  emu::check_regs({a, b}, n_);
+  Op& op = push(OpKind::Add);
+  op.a = a;
+  op.b = b;
+  return *this;
+}
+
+Program& Program::multiply(RegRef a, RegRef b, RegRef c) {
+  if (a.width != b.width || a.width != c.width)
+    throw std::invalid_argument("Program::multiply: widths must match");
+  emu::check_regs({a, b, c}, n_);
+  Op& op = push(OpKind::Multiply);
+  op.a = a;
+  op.b = b;
+  op.c = c;
+  return *this;
+}
+
+Program& Program::multiply_mod(RegRef x, index_t k, index_t modulus) {
+  emu::check_regs({x}, n_);
+  if (modulus == 0 || modulus > dim(x.width))
+    throw std::invalid_argument("Program::multiply_mod: modulus out of range");
+  if (std::gcd(k % modulus, modulus) != 1)
+    throw std::invalid_argument("Program::multiply_mod: k not invertible mod modulus");
+  Op& op = push(OpKind::MultiplyMod);
+  op.a = x;
+  op.k = k;
+  op.modulus = modulus;
+  return *this;
+}
+
+Program& Program::divide(RegRef a, RegRef b, RegRef c) {
+  if (a.width != b.width || a.width != c.width)
+    throw std::invalid_argument("Program::divide: widths must match");
+  emu::check_regs({a, b, c}, n_);
+  Op& op = push(OpKind::Divide);
+  op.a = a;
+  op.b = b;
+  op.c = c;
+  return *this;
+}
+
+Program& Program::apply_function(RegRef in, RegRef out, std::function<index_t(index_t)> f) {
+  emu::check_regs({in, out}, n_);
+  if (!f) throw std::invalid_argument("Program::apply_function: null function");
+  Op& op = push(OpKind::ApplyFunction);
+  op.a = in;
+  op.b = out;
+  op.func = std::move(f);
+  return *this;
+}
+
+Program& Program::phase_function(std::function<double(index_t)> phase) {
+  if (!phase) throw std::invalid_argument("Program::phase_function: null function");
+  push(OpKind::PhaseFunction).phase_fn = std::move(phase);
+  return *this;
+}
+
+Program& Program::phase_oracle(std::function<bool(index_t)> marked) {
+  if (!marked) throw std::invalid_argument("Program::phase_oracle: null predicate");
+  push(OpKind::PhaseOracle).predicate = std::move(marked);
+  return *this;
+}
+
+Program& Program::qft(RegRef r) {
+  emu::check_regs({r}, n_);
+  push(OpKind::Qft).a = r;
+  return *this;
+}
+
+Program& Program::inverse_qft(RegRef r) {
+  emu::check_regs({r}, n_);
+  push(OpKind::InverseQft).a = r;
+  return *this;
+}
+
+Program& Program::measure(RegRef r) {
+  emu::check_regs({r}, n_);
+  push(OpKind::Measure).a = r;
+  return *this;
+}
+
+Program& Program::expectation_z(index_t mask) {
+  if (n_ < 64 && (mask >> n_) != 0)
+    throw std::invalid_argument("Program::expectation_z: mask exceeds register");
+  push(OpKind::ExpectationZ).mask = mask;
+  return *this;
+}
+
+std::string Program::to_string() const {
+  std::string out = "Program(" + std::to_string(n_) + " qubits)\n";
+  for (const Op& op : ops_) out += "  " + op.label() + "\n";
+  return out;
+}
+
+}  // namespace qc::engine

@@ -1,0 +1,179 @@
+// Program IR — the engine's unit of execution (the front door the paper
+// implies but never names).
+//
+// A Program is an ordered list of ops over n qubits where *both* gate
+// segments (circuit::Circuit slices) and recognized high-level
+// subroutines (arithmetic, QFT, phase functions, measurement — the
+// paper's §3 shortcuts) are first-class nodes. The same Program runs on
+// any registered backend: an emulating backend ("auto") executes each
+// high-level op at its mathematical description, a gate-level backend
+// receives the program compiled to elementary gates by lower().
+//
+// Builders are fluent and mirror circuit::Circuit's, so gate-level and
+// high-level code read the same:
+//
+//   engine::Program p(12);
+//   p.h(0).cnot(0, 1)                 // gate segment (opened on demand)
+//    .multiply({0, 4}, {4, 4}, {8, 4})  // §3.1 shortcut node
+//    .qft({0, 8})                     // §3.2 shortcut node
+//    .measure({0, 8});                // §3.4 node (engine-handled)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "emu/emulator.hpp"
+
+namespace qc::engine {
+
+using emu::RegRef;
+
+enum class OpKind {
+  GateSegment,    ///< circuit::Circuit slice, executed gate by gate.
+  Add,            ///< b += a (mod 2^w)                [regs a, b]
+  Multiply,       ///< c += a*b (mod 2^w)              [regs a, b, c]
+  MultiplyMod,    ///< a -> k*a mod modulus            [reg a; k, modulus]
+  Divide,         ///< (a, b, c=0) -> (a mod b, b, a/b)[regs a, b, c]
+  ApplyFunction,  ///< b += f(a) (mod 2^b.width)       [regs a, b; func]
+  PhaseFunction,  ///< amp_i *= exp(i * phase_fn(i))   [phase_fn]
+  PhaseOracle,    ///< amp_i *= -1 where predicate(i)  [predicate]
+  Qft,            ///< QFT on reg a (paper Eq. 4, natural bit order)
+  InverseQft,     ///< inverse QFT on reg a
+  Measure,        ///< measure reg a (recorded in Result.measurements)
+  ExpectationZ,   ///< <Z_mask> (recorded in Result.expectations)
+};
+
+[[nodiscard]] std::string op_name(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::GateSegment;
+  circuit::Circuit gates;  ///< GateSegment payload.
+  RegRef a, b, c;          ///< Register operands (see OpKind comments).
+  index_t k = 0;           ///< MultiplyMod multiplier.
+  index_t modulus = 0;     ///< MultiplyMod modulus.
+  index_t mask = 0;        ///< ExpectationZ Pauli-Z mask.
+  std::function<index_t(index_t)> func;     ///< ApplyFunction.
+  std::function<double(index_t)> phase_fn;  ///< PhaseFunction.
+  std::function<bool(index_t)> predicate;   ///< PhaseOracle.
+
+  /// True for ops that transform the state (everything except Measure /
+  /// ExpectationZ, which the Engine handles backend-independently).
+  [[nodiscard]] bool unitary() const noexcept {
+    return kind != OpKind::Measure && kind != OpKind::ExpectationZ;
+  }
+
+  /// Short human-readable form for traces, e.g. "qft(@0:12)".
+  [[nodiscard]] std::string label() const;
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(qubit_t n_qubits) : n_(n_qubits) {}
+
+  [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  /// True if any op is high-level-unitary (i.e. a gate-level backend
+  /// needs the lower() pass before it can run this program).
+  [[nodiscard]] bool needs_lowering() const;
+
+  // --- gate-level builders (mirror circuit::Circuit) --------------------
+  // Consecutive gate appends accumulate into one GateSegment op; any
+  // high-level append closes the open segment.
+  Program& gate(circuit::Gate g);
+  Program& x(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::X, q)); }
+  Program& y(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::Y, q)); }
+  Program& z(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::Z, q)); }
+  Program& h(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::H, q)); }
+  Program& s(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::S, q)); }
+  Program& t(qubit_t q) { return gate(circuit::make_gate(circuit::GateKind::T, q)); }
+  Program& rx(qubit_t q, double theta) {
+    return gate(circuit::make_gate(circuit::GateKind::Rx, q, theta));
+  }
+  Program& ry(qubit_t q, double theta) {
+    return gate(circuit::make_gate(circuit::GateKind::Ry, q, theta));
+  }
+  Program& rz(qubit_t q, double theta) {
+    return gate(circuit::make_gate(circuit::GateKind::Rz, q, theta));
+  }
+  Program& phase(qubit_t q, double theta) {
+    return gate(circuit::make_gate(circuit::GateKind::Phase, q, theta));
+  }
+  Program& cnot(qubit_t c, qubit_t t) {
+    return gate(circuit::make_controlled(circuit::GateKind::X, c, t));
+  }
+  Program& cz(qubit_t c, qubit_t t) {
+    return gate(circuit::make_controlled(circuit::GateKind::Z, c, t));
+  }
+  Program& cr(qubit_t c, qubit_t t, double theta) {
+    return gate(circuit::make_controlled(circuit::GateKind::Phase, c, t, theta));
+  }
+  Program& swap(qubit_t a, qubit_t b) { return gate(circuit::make_swap(a, b)); }
+  Program& toffoli(qubit_t c1, qubit_t c2, qubit_t t) {
+    return gate(circuit::make_toffoli(c1, c2, t));
+  }
+  /// Appends a whole circuit as its own gate segment (one trace unit).
+  Program& gates(const circuit::Circuit& c) { return gates(circuit::Circuit(c)); }
+  Program& gates(circuit::Circuit&& c);
+
+  // --- high-level builders (the paper's §3 shortcuts) -------------------
+  Program& add(RegRef a, RegRef b);
+  Program& multiply(RegRef a, RegRef b, RegRef c);
+  Program& multiply_mod(RegRef x, index_t k, index_t modulus);
+  Program& divide(RegRef a, RegRef b, RegRef c);
+  Program& apply_function(RegRef in, RegRef out, std::function<index_t(index_t)> f);
+  Program& phase_function(std::function<double(index_t)> phase);
+  Program& phase_oracle(std::function<bool(index_t)> marked);
+  Program& qft(RegRef r);
+  Program& qft() { return qft({0, n_}); }
+  Program& inverse_qft(RegRef r);
+  Program& inverse_qft() { return inverse_qft({0, n_}); }
+
+  // --- engine-handled nodes --------------------------------------------
+  Program& measure(RegRef r);
+  Program& expectation_z(index_t mask);
+
+  /// Multi-line disassembly (one op label per line).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  circuit::Circuit& open_segment();
+  Op& push(OpKind kind);
+
+  qubit_t n_ = 0;
+  std::vector<Op> ops_;
+};
+
+/// Options for the gate-level compilation pass.
+struct LowerOptions {
+  /// Additionally rewrite Toffolis and plain SWAPs of the arithmetic
+  /// networks into the Clifford+T realization (circuit::decompose) —
+  /// the "fully elementary" simulation baseline.
+  bool to_clifford_t = false;
+};
+
+/// Work qubits lower() appends above p.qubits() (max over the ops'
+/// reversible-network ancilla needs; 0 if nothing needs lowering).
+[[nodiscard]] qubit_t lowered_ancillas(const Program& p);
+
+/// Compiles every high-level unitary op to a gate segment — arithmetic
+/// through the revcirc reversible networks (Cuccaro adder/multiplier,
+/// restoring divider, Beauregard modular multiplier), QFT through the
+/// O(n^2) gate cascade, phase functions/oracles through X-conjugated
+/// multi-controlled phase gates, classical functions through
+/// QFT-space adders controlled on the input register — so the program
+/// runs on *any* gate-level backend. The result acts on
+/// p.qubits() + lowered_ancillas(p) qubits; every ancilla is returned
+/// to |0>, and Engine::run projects them away again.
+///
+/// Exactness caveat (circuit-side preconditions, matching the revcirc
+/// docs): MultiplyMod requires the register's support to stay below the
+/// modulus; Divide requires the quotient register's support at |0>.
+[[nodiscard]] Program lower(const Program& p, const LowerOptions& opts = {});
+
+}  // namespace qc::engine

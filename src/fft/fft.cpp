@@ -136,13 +136,127 @@ void FftPlan::run_fused_pair(complex_t* a, qubit_t s) const {
   }
 }
 
-void FftPlan::execute(std::span<complex_t> data, Norm norm) const {
+void FftPlan::run_stockham_pair(const complex_t* x, complex_t* z, index_t l, index_t m,
+                                double scale) const {
+  // Two radix-2 Stockham DIF stages — (l, m) then (l/2, 2m) — in one
+  // sweep: quadruples are combined in registers and land at their
+  // self-sorted positions, so no bit-reversal pass ever runs. The
+  // radix-2 invariant l*m = N/2 makes the four read streams fixed
+  // offsets of each other.
+  const index_t half = (index_t{1} << n_) / 2;  // = l * m throughout
+  const index_t quarter = half / 2;
+  const complex_t* tw = twiddle_.data();
+  const index_t j_count = l / 2;
+
+  const auto block = [&](index_t j) {
+    const index_t jm = j * m;
+    const complex_t w1 = tw[jm];             // first stage, j
+    const complex_t w1b = tw[jm + quarter];  // first stage, j + l/2
+    const complex_t w2 = tw[2 * jm];         // second stage, j
+    const complex_t* x0 = x + jm;            // first stage inputs: x0/x2
+    const complex_t* x1 = x0 + quarter;      //   and (for j + l/2) x1/x3
+    const complex_t* x2 = x0 + half;
+    const complex_t* x3 = x1 + half;
+    complex_t* z0 = z + 4 * jm;
+    for (index_t k = 0; k < m; ++k) {
+      const complex_t u0 = x0[k], v0 = x1[k], u1 = x2[k], v1 = x3[k];
+      const complex_t a = u0 + u1;
+      const complex_t b = (u0 - u1) * w1;
+      const complex_t c = v0 + v1;
+      const complex_t d = (v0 - v1) * w1b;
+      z0[k] = (a + c) * scale;
+      z0[k + m] = (b + d) * scale;
+      z0[k + 2 * m] = ((a - c) * w2) * scale;
+      z0[k + 3 * m] = ((b - d) * w2) * scale;
+    }
+  };
+
+  if (j_count >= static_cast<index_t>(max_threads()) * 2 ||
+      !worth_parallelizing(half * 2)) {
+#pragma omp parallel for schedule(static) if (worth_parallelizing(half * 2))
+    for (index_t j = 0; j < j_count; ++j) block(j);
+  } else {
+    // Few wide blocks (late passes): parallelize inside each block.
+    for (index_t j = 0; j < j_count; ++j) {
+      const index_t jm = j * m;
+      const complex_t w1 = tw[jm], w1b = tw[jm + quarter], w2 = tw[2 * jm];
+      const complex_t* x0 = x + jm;
+      const complex_t* x1 = x0 + quarter;
+      const complex_t* x2 = x0 + half;
+      const complex_t* x3 = x1 + half;
+      complex_t* z0 = z + 4 * jm;
+#pragma omp parallel for schedule(static)
+      for (index_t k = 0; k < m; ++k) {
+        const complex_t u0 = x0[k], v0 = x1[k], u1 = x2[k], v1 = x3[k];
+        const complex_t a = u0 + u1;
+        const complex_t b = (u0 - u1) * w1;
+        const complex_t c = v0 + v1;
+        const complex_t d = (v0 - v1) * w1b;
+        z0[k] = (a + c) * scale;
+        z0[k + m] = (b + d) * scale;
+        z0[k + 2 * m] = ((a - c) * w2) * scale;
+        z0[k + 3 * m] = ((b - d) * w2) * scale;
+      }
+    }
+  }
+}
+
+void FftPlan::run_stockham_single(const complex_t* x, complex_t* z, double scale) const {
+  // Final stage when the stage count is odd: l = 1, m = N/2, twiddle 1.
+  const index_t half = (index_t{1} << n_) / 2;
+#pragma omp parallel for schedule(static) if (worth_parallelizing(half * 2))
+  for (index_t k = 0; k < half; ++k) {
+    const complex_t u = x[k];
+    const complex_t v = x[k + half];
+    z[k] = (u + v) * scale;
+    z[k + half] = (u - v) * scale;
+  }
+}
+
+void FftPlan::execute_stockham(std::span<complex_t> data, std::span<complex_t> scratch,
+                               Norm norm) const {
+  const index_t size = index_t{1} << n_;
+  double final_scale = 1.0;
+  if (norm == Norm::Unitary) final_scale = 1.0 / std::sqrt(static_cast<double>(size));
+  if (norm == Norm::Inverse) final_scale = 1.0 / static_cast<double>(size);
+
+  complex_t* src = data.data();
+  complex_t* dst = scratch.data();
+  index_t l = size / 2, m = 1;
+  while (l >= 1) {
+    const bool last = l <= 2;  // pair consumes l == 2, single consumes l == 1
+    const double scale = last ? final_scale : 1.0;
+    if (l >= 2) {
+      run_stockham_pair(src, dst, l, m, scale);
+      l /= 4;
+      m *= 4;
+    } else {
+      run_stockham_single(src, dst, scale);
+      l = 0;
+    }
+    std::swap(src, dst);
+  }
+  // After an odd number of passes the result sits in the scratch.
+  if (src != data.data())
+    std::copy(src, src + size, data.data());
+}
+
+void FftPlan::execute(std::span<complex_t> data, std::span<complex_t> scratch,
+                      Norm norm) const {
   const index_t size = index_t{1} << n_;
   if (data.size() != size) throw std::invalid_argument("FftPlan::execute: size mismatch");
   if (size == 1) {
     apply_norm(data, norm);
     return;
   }
+  if (schedule_ == Schedule::Stockham && !scratch.empty()) {
+    if (scratch.size() < size || scratch.data() == data.data())
+      throw std::invalid_argument("FftPlan::execute: bad scratch");
+    execute_stockham(data, scratch, norm);
+    return;
+  }
+  // No scratch: run the in-place fused-pairs schedule (identical
+  // results; the schedule equivalence test enforces it).
 
   bit_reverse_permute(data, n_);
   complex_t* a = data.data();
@@ -150,11 +264,29 @@ void FftPlan::execute(std::span<complex_t> data, Norm norm) const {
   if (schedule_ == Schedule::SingleStage) {
     for (qubit_t s = 1; s <= n_; ++s) run_stage(a, s);
   } else {
+    // FusedPairs, or a Stockham plan executed without scratch.
     qubit_t s = 1;
     for (; s + 1 <= n_; s += 2) run_fused_pair(a, s);
     if (s == n_) run_stage(a, s);  // odd stage count: last stage alone
   }
   apply_norm(data, norm);
+}
+
+void FftPlan::execute(std::span<complex_t> data, Norm norm) const {
+  // Cap on the per-thread scratch a scratch-less Stockham call may pin.
+  // Above it (state-vector sizes, where memory is the binding
+  // constraint) fall back to the in-place fused-pairs path instead of
+  // permanently doubling the footprint; callers that want full-size
+  // Stockham provide their own scratch (as the emulator does).
+  constexpr index_t kMaxTlsScratch = index_t{1} << 22;  // 64 MiB of complex_t
+  if (schedule_ != Schedule::Stockham || data.size() <= 1 ||
+      data.size() > kMaxTlsScratch) {
+    execute(data, std::span<complex_t>{}, norm);
+    return;
+  }
+  static thread_local aligned_vector<complex_t> tls_scratch;
+  if (tls_scratch.size() < data.size()) tls_scratch.resize(data.size());
+  execute(data, {tls_scratch.data(), tls_scratch.size()}, norm);
 }
 
 void fft_inplace(std::span<complex_t> data, Sign sign, Norm norm) {

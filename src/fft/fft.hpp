@@ -36,10 +36,16 @@ constexpr Sign opposite(Sign s) noexcept {
 /// Butterfly schedule. The transform is memory-bound at state-vector
 /// sizes, so fusing two radix-2 stages into one sweep (a radix-2^2 /
 /// radix-4-style pass: 4 loads + 4 stores per 2 stages instead of 8+8)
-/// nearly halves traffic; the ablation bench quantifies it.
+/// nearly halves traffic; the ablation bench quantifies it. The
+/// Stockham schedule additionally removes the bit-reversal permutation
+/// (a random scatter that costs ~40% of the in-place transform at
+/// state-vector sizes) by ping-ponging between the data and a scratch
+/// buffer with purely sequential sweeps, and folds the normalization
+/// into the final pass.
 enum class Schedule {
-  SingleStage,  ///< One sweep per radix-2 stage (textbook).
-  FusedPairs,   ///< Two stages per sweep where possible (default).
+  SingleStage,  ///< One in-place sweep per radix-2 stage (textbook).
+  FusedPairs,   ///< Two stages per in-place sweep where possible.
+  Stockham,     ///< Self-sorting out-of-place fused pairs (default).
 };
 
 /// Reusable transform plan for a fixed size and sign. Holds the twiddle
@@ -48,10 +54,21 @@ enum class Schedule {
 class FftPlan {
  public:
   /// Plan for transforms of 2^n_qubits points with the given sign.
-  FftPlan(qubit_t n_qubits, Sign sign, Schedule schedule = Schedule::FusedPairs);
+  FftPlan(qubit_t n_qubits, Sign sign, Schedule schedule = Schedule::Stockham);
 
-  /// In-place transform of exactly 2^n_qubits points.
+  /// In-place transform of exactly 2^n_qubits points. The Stockham
+  /// schedule ping-pongs through a per-thread scratch buffer (grown on
+  /// demand, reused across calls, capped at 64 MiB — larger transforms
+  /// fall back to the in-place fused-pairs sweeps rather than pinning a
+  /// state-vector-sized buffer per thread).
   void execute(std::span<complex_t> data, Norm norm = Norm::None) const;
+
+  /// Same transform with caller-provided scratch (>= data.size();
+  /// distinct from data). Lets long-lived callers (the emulator) reuse
+  /// an existing buffer instead of the per-thread one. Only the
+  /// Stockham schedule touches the scratch; an empty scratch selects
+  /// the in-place fused-pairs fallback.
+  void execute(std::span<complex_t> data, std::span<complex_t> scratch, Norm norm) const;
 
   [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
   [[nodiscard]] Sign sign() const noexcept { return sign_; }
@@ -60,6 +77,11 @@ class FftPlan {
  private:
   void run_stage(complex_t* a, qubit_t s) const;
   void run_fused_pair(complex_t* a, qubit_t s) const;
+  void run_stockham_pair(const complex_t* x, complex_t* z, index_t l, index_t m,
+                         double scale) const;
+  void run_stockham_single(const complex_t* x, complex_t* z, double scale) const;
+  void execute_stockham(std::span<complex_t> data, std::span<complex_t> scratch,
+                        Norm norm) const;
 
   qubit_t n_;
   Sign sign_;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "fuse/fused_simulator.hpp"
+#include "engine/backend.hpp"
 
 namespace qc::sim {
 
@@ -116,11 +116,10 @@ void HpcSimulator::run(StateVector& sv, const circuit::Circuit& c) const {
 }
 
 std::unique_ptr<Simulator> make_simulator(const std::string& name) {
-  if (name == "hpc") return std::make_unique<HpcSimulator>();
-  if (name == "qhipster-like") return std::make_unique<QhipsterLikeSimulator>();
-  if (name == "liquid-like") return std::make_unique<LiquidLikeSimulator>();
-  if (name == "fused") return std::make_unique<fuse::FusedSimulator>();
-  throw std::invalid_argument("make_simulator: unknown simulator '" + name + "'");
+  // Thin source-compatibility shim: the engine's backend registry is the
+  // single authority on names, and its unknown-name error enumerates
+  // engine::backend_names().
+  return engine::make_gate_simulator(name);
 }
 
 }  // namespace qc::sim

@@ -89,7 +89,11 @@ class HpcSimulator final : public Simulator {
 
 /// Factory by name ("hpc", "qhipster-like", "liquid-like", "fused") for
 /// benches and tools. "fused" is fuse::FusedSimulator — the gate-fusion
-/// backend layered on top of HpcSimulator's fast paths.
+/// backend layered on top of HpcSimulator's fast paths. A thin shim over
+/// engine::make_gate_simulator (the backend registry is the authority on
+/// names; unknown names throw std::invalid_argument enumerating the
+/// valid ones). Emulation-only backends like "auto" are not plain
+/// Simulators — run those through engine::Engine.
 std::unique_ptr<Simulator> make_simulator(const std::string& name);
 
 }  // namespace qc::sim

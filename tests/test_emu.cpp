@@ -62,6 +62,23 @@ TEST(Emulator, RegisterChecksThrow) {
   EXPECT_THROW(emu.multiply({0, 2}, {2, 2}, {3, 2}), std::invalid_argument);  // overlap
   EXPECT_THROW(emu.multiply({0, 2}, {2, 2}, {4, 3}), std::invalid_argument);  // width
   EXPECT_THROW(emu.add({0, 4}, {4, 4}), std::invalid_argument);               // range
+  EXPECT_THROW(emu.divide({0, 2}, {1, 2}, {4, 2}), std::invalid_argument);    // overlap
+  EXPECT_THROW(emu.divide({0, 2}, {2, 2}, {5, 2}), std::invalid_argument);    // range
+  EXPECT_THROW(emu.apply_function({0, 3}, {2, 3}, [](index_t v) { return v; }),
+               std::invalid_argument);  // overlap
+  EXPECT_THROW(emu.qft({3, 4}), std::invalid_argument);  // offset+width > n
+}
+
+TEST(Emulator, CheckRegsValidatesBoundsAndOverlap) {
+  // The shared helper behind every register op (and the engine::Program
+  // builders): nonempty, in bounds, pairwise disjoint.
+  check_regs({{0, 3}, {3, 3}}, 6);                                     // ok
+  check_regs({{5, 1}}, 6);                                             // ok
+  EXPECT_THROW(check_regs({{0, 0}}, 6), std::invalid_argument);        // empty
+  EXPECT_THROW(check_regs({{4, 3}}, 6), std::invalid_argument);        // out of range
+  EXPECT_THROW(check_regs({{6, 1}}, 6), std::invalid_argument);        // off the end
+  EXPECT_THROW(check_regs({{0, 3}, {2, 3}}, 6), std::invalid_argument);  // overlap
+  EXPECT_THROW(check_regs({{0, 2}, {2, 2}, {1, 1}}, 6), std::invalid_argument);
 }
 
 class MulEquivalence : public ::testing::TestWithParam<qubit_t> {};

@@ -1,0 +1,341 @@
+// Tests for the engine front door: Program builder validation, the
+// backend registry, and — the paper's contract — agreement to 1e-12
+// between the "auto" backend (emulation shortcuts) and the fully
+// lowered gate-level runs on QFT, Shor-style modular arithmetic, and
+// Grover programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "emu/observables.hpp"
+#include "engine/engine.hpp"
+
+namespace qc::engine {
+namespace {
+
+using circuit::Circuit;
+
+/// Deterministic non-trivial prep segment: per-qubit rotations plus an
+/// entangling CNOT/CR ladder, so agreement tests see generic complex
+/// amplitudes instead of a basis state.
+Circuit prep_circuit(qubit_t n) {
+  Circuit c(n);
+  for (qubit_t q = 0; q < n; ++q) {
+    c.h(q);
+    c.rz(q, 0.17 * static_cast<double>(q + 1));
+  }
+  for (qubit_t q = 0; q + 1 < n; ++q) c.cnot(q, q + 1);
+  for (qubit_t q = 0; q + 2 < n; ++q) c.cr(q, q + 2, 0.31 * static_cast<double>(q + 1));
+  return c;
+}
+
+/// Runs `p` on `backend` and on "auto", expecting final-state agreement.
+void expect_backends_agree(const Program& p, const std::string& backend,
+                           std::uint64_t seed = 3) {
+  RunOptions auto_opts;
+  auto_opts.backend = "auto";
+  auto_opts.seed = seed;
+  RunOptions gate_opts = auto_opts;
+  gate_opts.backend = backend;
+
+  const Engine engine;
+  const Result a = engine.run(p, auto_opts);
+  const Result g = engine.run(p, gate_opts);
+  EXPECT_EQ(a.state.qubits(), p.qubits());
+  EXPECT_EQ(g.state.qubits(), p.qubits());
+  EXPECT_LT(a.state.max_abs_diff(g.state), 1e-12)
+      << "auto vs " << backend << " diverged on:\n"
+      << p.to_string();
+  EXPECT_EQ(a.measurements, g.measurements);
+  ASSERT_EQ(a.expectations.size(), g.expectations.size());
+  for (std::size_t i = 0; i < a.expectations.size(); ++i)
+    EXPECT_NEAR(a.expectations[i], g.expectations[i], 1e-12);
+}
+
+// --- Program builder ---------------------------------------------------
+
+TEST(Program, GateRunsCoalesceIntoOneSegment) {
+  Program p(3);
+  p.h(0).cnot(0, 1).x(2);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.ops()[0].kind, OpKind::GateSegment);
+  EXPECT_EQ(p.ops()[0].gates.size(), 3u);
+  EXPECT_FALSE(p.needs_lowering());
+
+  p.qft({0, 2}).h(1).h(2);  // high-level op closes the segment
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.ops()[1].kind, OpKind::Qft);
+  EXPECT_EQ(p.ops()[2].gates.size(), 2u);
+  EXPECT_TRUE(p.needs_lowering());
+}
+
+TEST(Program, BuildersValidateRegisters) {
+  Program p(6);
+  EXPECT_THROW(p.add({0, 3}, {2, 3}), std::invalid_argument);       // overlap
+  EXPECT_THROW(p.add({0, 3}, {3, 2}), std::invalid_argument);       // width mismatch
+  EXPECT_THROW(p.qft({4, 3}), std::invalid_argument);               // out of range
+  EXPECT_THROW(p.measure({0, 0}), std::invalid_argument);           // empty
+  EXPECT_THROW(p.multiply({0, 2}, {2, 2}, {3, 2}), std::invalid_argument);
+  EXPECT_THROW(p.multiply_mod({0, 3}, 3, 9), std::invalid_argument);   // gcd != 1
+  EXPECT_THROW(p.multiply_mod({0, 2}, 3, 100), std::invalid_argument); // modulus
+  EXPECT_THROW(p.expectation_z(index_t{1} << 6), std::invalid_argument);
+  EXPECT_TRUE(p.empty());  // nothing appended by the failed builders
+}
+
+TEST(Program, MeasureAndExpectationAreNotLowered) {
+  Program p(4);
+  p.h(0).measure({0, 2}).expectation_z(0b11);
+  EXPECT_FALSE(p.needs_lowering());
+  const Program low = lower(p);
+  EXPECT_EQ(low.qubits(), 4u);
+  ASSERT_EQ(low.size(), 3u);
+  EXPECT_EQ(low.ops()[1].kind, OpKind::Measure);
+  EXPECT_EQ(low.ops()[2].kind, OpKind::ExpectationZ);
+}
+
+// --- backend registry --------------------------------------------------
+
+TEST(Registry, BuiltinsPresentAndSorted) {
+  const std::vector<std::string> names = backend_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected : {"auto", "fused", "hpc", "liquid-like", "qhipster-like"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing builtin " << expected;
+}
+
+TEST(Registry, UnknownBackendErrorEnumeratesNames) {
+  try {
+    (void)make_backend("does-not-exist");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos);
+    for (const char* name : {"auto", "fused", "hpc", "liquid-like", "qhipster-like"})
+      EXPECT_NE(msg.find(name), std::string::npos) << "error should list " << name;
+  }
+}
+
+TEST(Registry, MakeSimulatorDelegatesAndEnumerates) {
+  EXPECT_EQ(sim::make_simulator("hpc")->name(), "hpc");
+  EXPECT_EQ(sim::make_simulator("fused")->name(), "fused");
+  try {
+    (void)sim::make_simulator("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* name : {"auto", "fused", "hpc", "liquid-like", "qhipster-like"})
+      EXPECT_NE(msg.find(name), std::string::npos) << "error should list " << name;
+  }
+  // "auto" is registered but emulation-only: not a plain Simulator.
+  EXPECT_THROW((void)sim::make_simulator("auto"), std::invalid_argument);
+}
+
+TEST(Registry, RoundTripCustomBackend) {
+  class EchoBackend final : public Backend {
+   public:
+    [[nodiscard]] std::string name() const override { return "test-echo"; }
+    void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+      sim::HpcSimulator().run(sv, c);
+    }
+  };
+  register_backend("test-echo", [](const RunOptions&) -> std::unique_ptr<Backend> {
+    return std::make_unique<EchoBackend>();
+  });
+  const std::vector<std::string> names = backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-echo"), names.end());
+  EXPECT_THROW(
+      register_backend("test-echo",
+                       [](const RunOptions&) -> std::unique_ptr<Backend> { return nullptr; }),
+      std::invalid_argument);
+  // Not a gate-level sim::Simulator (no sim_factory registered).
+  EXPECT_THROW((void)sim::make_simulator("test-echo"), std::invalid_argument);
+
+  Program p(3);
+  p.gates(prep_circuit(3));
+  RunOptions opts;
+  opts.backend = "test-echo";
+  const Result r = Engine().run(p, opts);
+  EXPECT_EQ(r.backend, "test-echo");
+  EXPECT_NEAR(r.state.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(Registry, GateLevelBackendRejectsHighLevelOps) {
+  Program p(4);
+  p.qft();
+  const std::unique_ptr<Backend> hpc = make_backend("hpc");
+  sim::StateVector sv(4);
+  EXPECT_THROW(hpc->run_highlevel(sv, p.ops()[0]), std::logic_error);
+}
+
+// --- auto vs lowered gate-level agreement (acceptance programs) --------
+
+TEST(Agreement, Qft12) {
+  const qubit_t n = 12;
+  Program p(n);
+  p.gates(prep_circuit(n)).qft().inverse_qft({0, 6}).expectation_z(0b101);
+  EXPECT_EQ(lowered_ancillas(p), 0u);
+  expect_backends_agree(p, "hpc");
+  expect_backends_agree(p, "fused");
+}
+
+TEST(Agreement, ShorStyleModularMultiplication) {
+  // Order finding in miniature for N = 15, a = 7: superpose a 3-bit
+  // exponent, evaluate 7^e mod 15 into the value register (support
+  // stays < N, the circuit-side precondition), rotate by an extra
+  // emulatable modular multiplication, inverse-QFT the exponent,
+  // measure it.
+  Program p(7);
+  p.h(0).h(1).h(2)
+      .apply_function({0, 3}, {3, 4},
+                      [](index_t e) {
+                        index_t r = 1;
+                        for (index_t j = 0; j < e; ++j) r = r * 7 % 15;
+                        return r;
+                      })
+      .multiply_mod({3, 4}, 2, 15)
+      .inverse_qft({0, 3})
+      .measure({0, 3});
+  EXPECT_EQ(lowered_ancillas(p), 4u + 3u);  // Beauregard accumulator + flags
+  expect_backends_agree(p, "hpc");
+  expect_backends_agree(p, "fused");
+}
+
+TEST(Agreement, GroverWithPhaseOracle) {
+  const qubit_t n = 10;
+  const index_t marked = 321;
+  Circuit diffusion(n);
+  for (qubit_t q = 0; q < n; ++q) diffusion.h(q);
+  for (qubit_t q = 0; q < n; ++q) diffusion.x(q);
+  {
+    circuit::Gate mcz = circuit::make_gate(circuit::GateKind::Z, n - 1);
+    for (qubit_t q = 0; q + 1 < n; ++q) mcz.controls.push_back(q);
+    diffusion.append(mcz);
+  }
+  for (qubit_t q = 0; q < n; ++q) diffusion.x(q);
+  for (qubit_t q = 0; q < n; ++q) diffusion.h(q);
+
+  Program p(n);
+  for (qubit_t q = 0; q < n; ++q) p.h(q);
+  for (int it = 0; it < 6; ++it) {
+    p.phase_oracle([marked](index_t i) { return i == marked; });
+    p.gates(diffusion);
+  }
+  expect_backends_agree(p, "hpc");
+  expect_backends_agree(p, "fused");
+
+  // Sanity: six iterations amplify the marked item well above uniform.
+  RunOptions opts;
+  const Result r = Engine().run(p, opts);
+  EXPECT_GT(std::norm(r.state[marked]), 100.0 / static_cast<double>(dim(n)));
+}
+
+TEST(Agreement, ArithmeticAddMultiplyDivide) {
+  // m = 2-bit registers a, b, c: superpose a and b, then
+  // b += a; c += a*b; then divide on a fresh basis-state program.
+  Program p(6);
+  p.h(0).h(1).h(2).h(3).add({0, 2}, {2, 2}).multiply({0, 2}, {2, 2}, {4, 2});
+  EXPECT_EQ(lowered_ancillas(p), 1u);
+  expect_backends_agree(p, "hpc");
+
+  // Division: (a=7, b=3, c=0) -> (a mod b, b, a div b); superposed b.
+  Program q(9);
+  q.x(0).x(1).x(2).h(3).h(4).divide({0, 3}, {3, 3}, {6, 3});
+  EXPECT_EQ(lowered_ancillas(q), 3u + 4u);
+  expect_backends_agree(q, "hpc");
+}
+
+TEST(Agreement, PhaseFunctionSmallRegister) {
+  Program p(6);
+  p.gates(prep_circuit(6)).phase_function([](index_t i) {
+    return 0.2 * static_cast<double>(i % 7);
+  });
+  expect_backends_agree(p, "hpc");
+}
+
+TEST(Agreement, CliffordTLoweringOfArithmetic) {
+  Program p(6);
+  p.h(0).h(1).h(2).h(3).add({0, 2}, {2, 2}).multiply({0, 2}, {2, 2}, {4, 2});
+  RunOptions auto_opts;
+  RunOptions ct_opts;
+  ct_opts.backend = "hpc";
+  ct_opts.lower.to_clifford_t = true;
+  const Engine engine;
+  const Result a = engine.run(p, auto_opts);
+  const Result g = engine.run(p, ct_opts);
+  EXPECT_LT(a.state.max_abs_diff(g.state), 1e-12);
+}
+
+// --- engine-handled nodes and bookkeeping ------------------------------
+
+TEST(Engine, MeasureCollapsesAndRecords) {
+  Program p(4);
+  p.x(0).x(2).measure({0, 4});
+  const Result r = Engine().run(p);
+  ASSERT_EQ(r.measurements.size(), 1u);
+  EXPECT_EQ(r.measurements[0], index_t{0b0101});
+  EXPECT_NEAR(std::norm(r.state[0b0101]), 1.0, 1e-12);  // collapsed
+}
+
+TEST(Engine, MeasureWithoutCollapseLeavesStateUntouched) {
+  Program p(3);
+  for (qubit_t q = 0; q < 3; ++q) p.h(q);
+  RunOptions opts;
+  opts.collapse_measurements = false;
+  Program p2 = p;
+  p2.measure({0, 3});
+  const Result r = Engine().run(p2, opts);
+  ASSERT_EQ(r.measurements.size(), 1u);
+  for (index_t i = 0; i < dim(3); ++i)
+    EXPECT_NEAR(std::norm(r.state[i]), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Engine, ExpectationZMatchesObservables) {
+  Program p(5);
+  p.gates(prep_circuit(5)).expectation_z(0b10101);
+  const Result r = Engine().run(p);
+  ASSERT_EQ(r.expectations.size(), 1u);
+  EXPECT_NEAR(r.expectations[0], emu::expectation_z_string(r.state, 0b10101), 1e-12);
+}
+
+TEST(Engine, TraceCoversEveryOpWithLabels) {
+  Program p(8);
+  p.gates(prep_circuit(8)).qft().measure({0, 4}).expectation_z(1);
+  const Result r = Engine().run(p);
+  ASSERT_EQ(r.trace.size(), p.size());
+  EXPECT_EQ(r.trace[1].op, "qft(@0:8)");
+  for (const OpTrace& t : r.trace) {
+    EXPECT_FALSE(t.op.empty());
+    EXPECT_GE(t.seconds, 0.0);
+  }
+  EXPECT_GE(r.total_seconds, 0.0);
+  EXPECT_EQ(r.run_qubits, 8u);
+}
+
+TEST(Engine, InitialBasisSeedsTheProgramRegister) {
+  Program p(4);
+  p.add({0, 2}, {2, 2});
+  RunOptions opts;
+  opts.initial_basis = 0b0110;  // a = 2, b = 1
+  for (const char* backend : {"auto", "hpc"}) {
+    opts.backend = backend;
+    const Result r = Engine().run(p, opts);
+    EXPECT_NEAR(std::norm(r.state[0b1110]), 1.0, 1e-12) << backend;  // b = 3
+  }
+  opts.initial_basis = dim(4);
+  EXPECT_THROW((void)Engine().run(p, opts), std::invalid_argument);
+}
+
+TEST(Engine, LoweredRunReportsWidenedRegisterButReturnsProgramState) {
+  Program p(4);
+  p.h(0).h(1).multiply({0, 1}, {1, 1}, {2, 1});
+  RunOptions opts;
+  opts.backend = "hpc";
+  const Result r = Engine().run(p, opts);
+  EXPECT_EQ(r.run_qubits, 5u);  // + carry ancilla
+  EXPECT_EQ(r.state.qubits(), 4u);
+  EXPECT_NEAR(r.state.norm_sq(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qc::engine

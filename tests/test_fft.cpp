@@ -169,15 +169,36 @@ TEST(Fft, SchedulesProduceIdenticalResults) {
   // odd and even stage counts.
   for (const qubit_t n : {1u, 2u, 3u, 6u, 9u, 12u, 15u}) {
     const auto in = random_signal(n, 400 + n);
-    aligned_vector<complex_t> single = in, fused = in;
+    aligned_vector<complex_t> single = in, fused = in, stockham = in;
     FftPlan(n, Sign::Positive, Schedule::SingleStage).execute(single);
     FftPlan(n, Sign::Positive, Schedule::FusedPairs).execute(fused);
+    FftPlan(n, Sign::Positive, Schedule::Stockham).execute(stockham);
     EXPECT_LT(max_diff(single, fused), 1e-12) << "n=" << n;
+    EXPECT_LT(max_diff(single, stockham), 1e-12) << "n=" << n;
     aligned_vector<complex_t> expected(in.size());
     dft_naive(in, expected, Sign::Positive);
     EXPECT_LT(max_diff(fused, expected), 1e-9 * std::sqrt(static_cast<double>(in.size())))
         << "n=" << n;
   }
+}
+
+TEST(Fft, StockhamCallerScratchMatchesThreadLocalPath) {
+  for (const qubit_t n : {4u, 11u}) {
+    const auto in = random_signal(n, 77 + n);
+    aligned_vector<complex_t> a = in, b = in;
+    aligned_vector<complex_t> scratch(in.size());
+    const FftPlan plan(n, Sign::Negative);
+    plan.execute(a, Norm::Unitary);
+    plan.execute(b, {scratch.data(), scratch.size()}, Norm::Unitary);
+    EXPECT_LT(max_diff(a, b), 1e-15) << "n=" << n;
+  }
+  // Bad scratch: too small, or aliasing the data.
+  aligned_vector<complex_t> v = random_signal(4, 5);
+  aligned_vector<complex_t> small(v.size() / 2);
+  const FftPlan plan(4, Sign::Negative);
+  EXPECT_THROW(plan.execute(v, {small.data(), small.size()}, Norm::None),
+               std::invalid_argument);
+  EXPECT_THROW(plan.execute(v, {v.data(), v.size()}, Norm::None), std::invalid_argument);
 }
 
 TEST(Fft, LargeTransformStaysAccurate) {
