@@ -21,6 +21,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "fuse/fused_simulator.hpp"
+#include "sched/cached_simulator.hpp"
 #include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
   std::printf("hpc baseline (unfused): %s s/run, %s s/gate\n\n", sci(t_hpc).c_str(),
               sci(t_hpc / static_cast<double>(gates)).c_str());
 
-  Table table({"k", "blocks", "gates-fused", "passes", "T [s]", "T/gate [s]", "vs hpc"});
+  Table table({"k", "blocks", "gates-fused", "passes", "T [s]", "T/gate [s]", "vs hpc",
+               "T cached [s]", "cached vs hpc"});
   for (qubit_t k = 1; k <= max_k; ++k) {
     fuse::FusedSimulator::Options opts;
     opts.fusion.max_width = k;
@@ -63,14 +65,24 @@ int main(int argc, char** argv) {
     const fuse::FusedCircuit plan = fused.plan(c);
     const std::size_t passes = plan.items.size();
     const double t = bench::timed([&] { fused.execute(sv, plan); }, /*warmup=*/true);
+    // Same fusion width through the cache-blocked executor (auto chunk).
+    sched::CachedSimulator::Options copts;
+    copts.fusion = opts.fusion;
+    copts.sched.max_block_width = k;  // honest axis: no in-cache re-narrowing
+    const sched::CachedSimulator cached(copts);
+    const sched::BlockedPlan bplan = cached.plan(c);
+    const double tc = bench::timed([&] { cached.execute(sv, bplan); }, /*warmup=*/true);
     table.add_row({std::to_string(k), std::to_string(plan.blocks()),
                    std::to_string(plan.fused_gates()), std::to_string(passes), sci(t),
-                   sci(t / static_cast<double>(gates)), fixed(t_hpc / t, 2) + "x"});
+                   sci(t / static_cast<double>(gates)), fixed(t_hpc / t, 2) + "x", sci(tc),
+                   fixed(t_hpc / tc, 2) + "x"});
   }
   table.print("fusion width sweep (plan built once, execution timed)");
   std::printf("\nreading: 'passes' is the number of state-vector sweeps after fusion\n"
               "(vs %zu unfused). Speedup tracks the pass reduction until the dense\n"
-              "2^k x 2^k per-block mat-vec turns the sweep compute bound.\n",
+              "2^k x 2^k per-block mat-vec turns the sweep compute bound. The\n"
+              "cached columns run the same plan through the cache-blocked sweep\n"
+              "executor (bench_ablation_blocking sweeps its chunk width).\n",
               gates);
   return 0;
 }

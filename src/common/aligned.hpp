@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <type_traits>
 #include <vector>
 
 namespace qc {
@@ -46,5 +47,39 @@ struct AlignedAllocator {
 /// Vector whose data() is 64-byte aligned.
 template <typename T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// AlignedAllocator variant whose value-construction is a no-op: sizing a
+/// vector leaves the memory untouched instead of running the serial
+/// zero-fill pass. The owner must initialize every element itself — in a
+/// parallel loop, so the first touch of each page happens on the thread
+/// (and hence the NUMA node) that will work on it. Used by StateVector,
+/// whose amplitudes are the library's dominant allocation.
+template <typename T>
+struct UninitAlignedAllocator : AlignedAllocator<T> {
+  using value_type = T;
+
+  UninitAlignedAllocator() noexcept = default;
+  template <typename U>
+  UninitAlignedAllocator(const UninitAlignedAllocator<U>&) noexcept {}
+
+  /// Value-construction requests (vector(n), resize(n)) become no-ops;
+  /// construction with arguments falls back to allocator_traits'
+  /// placement new because this overload is then not viable.
+  template <typename U>
+  void construct(U*) noexcept {
+    static_assert(std::is_trivially_copyable_v<U> && std::is_trivially_destructible_v<U>,
+                  "no-op construction is only sound for trivial element types");
+  }
+
+  template <typename U>
+  bool operator==(const UninitAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Aligned vector that skips element initialization on sizing (see
+/// UninitAlignedAllocator — every element must be written before read).
+template <typename T>
+using uninit_aligned_vector = std::vector<T, UninitAlignedAllocator<T>>;
 
 }  // namespace qc

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fuse/fused_simulator.hpp"
+#include "sched/cached_simulator.hpp"
 
 namespace qc::engine {
 
@@ -30,17 +31,18 @@ class GateLevelBackend final : public Backend {
 };
 
 /// The paper's dispatch rule as a backend: high-level ops through the
-/// emu::Emulator shortcuts, gate segments through the fused simulator.
+/// emu::Emulator shortcuts, gate segments through the cache-blocked
+/// (fused + sweep-scheduled) simulator.
 class AutoBackend final : public Backend {
  public:
   explicit AutoBackend(const RunOptions& opts)
-      : fused_(fuse::FusedSimulator::Options{opts.fusion}) {}
+      : cached_(sched::CachedSimulator::Options{opts.fusion, opts.sched}) {}
 
   [[nodiscard]] std::string name() const override { return "auto"; }
   [[nodiscard]] bool emulates() const override { return true; }
 
   void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
-    fused_.run(sv, c);
+    cached_.run(sv, c);
   }
 
   void run_highlevel(sim::StateVector& sv, const Op& op) override {
@@ -71,7 +73,7 @@ class AutoBackend final : public Backend {
     return *emulator_;
   }
 
-  fuse::FusedSimulator fused_;
+  sched::CachedSimulator cached_;
   std::unique_ptr<emu::Emulator> emulator_;
   sim::StateVector* bound_ = nullptr;
 };
@@ -102,6 +104,12 @@ std::map<std::string, BackendEntry>& registry() {
               fuse::FusedSimulator::Options{opts.fusion}));
         },
         [] { return std::make_unique<fuse::FusedSimulator>(); }};
+    r["cached"] = BackendEntry{
+        [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          return std::make_unique<GateLevelBackend>(std::make_unique<sched::CachedSimulator>(
+              sched::CachedSimulator::Options{opts.fusion, opts.sched}));
+        },
+        [] { return std::make_unique<sched::CachedSimulator>(); }};
     r["auto"] = BackendEntry{
         [](const RunOptions& opts) -> std::unique_ptr<Backend> {
           return std::make_unique<AutoBackend>(opts);

@@ -4,7 +4,7 @@
 // A Backend executes the *unitary* ops of a Program (Measure /
 // ExpectationZ are engine-handled, backend-independently). Two families:
 //
-//  * gate-level backends ("hpc", "fused", "qhipster-like",
+//  * gate-level backends ("hpc", "fused", "cached", "qhipster-like",
 //    "liquid-like") wrap a sim::Simulator and only ever see gate
 //    segments — Engine::run lowers high-level ops first;
 //  * emulating backends ("auto") report emulates() == true and execute
@@ -24,6 +24,7 @@
 
 #include "engine/program.hpp"
 #include "fuse/fusion.hpp"
+#include "sched/schedule.hpp"
 #include "sim/simulator.hpp"
 
 namespace qc::engine {
@@ -35,8 +36,12 @@ struct RunOptions {
   /// Seed for measurement sampling (one uniform draw per Measure op, in
   /// program order — identical draw sequence on every backend).
   std::uint64_t seed = 1;
-  /// Gate-fusion options for backends that fuse ("auto", "fused").
+  /// Gate-fusion options for backends that fuse ("auto", "fused",
+  /// "cached").
   fuse::FusionOptions fusion;
+  /// Cache-blocking options for backends that sweep-schedule ("auto",
+  /// "cached").
+  sched::ScheduleOptions sched;
   /// Initial computational basis state |initial_basis> of the *program*
   /// register (lowering ancillas always start at |0>).
   index_t initial_basis = 0;

@@ -25,11 +25,9 @@ void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) con
     const FusedOp& op = item.block;
     if (op.diagonal) {
       // All folded gates were diagonal, so the block unitary is too:
-      // apply just its diagonal in one multiply-only sweep.
-      const index_t block = dim(op.width());
-      std::vector<complex_t> d(block);
-      for (index_t b = 0; b < block; ++b) d[b] = op.unitary(b, b);
-      sim::kernels::apply_multi_diagonal(a, sv.qubits(), op.qubits, d);
+      // apply just the plan-time-extracted diagonal in one multiply-only
+      // sweep (no allocation in the hot loop).
+      sim::kernels::apply_multi_diagonal(a, sv.qubits(), op.qubits, op.diag);
       continue;
     }
     sim::kernels::apply_multi(a, sv.qubits(), op.qubits,

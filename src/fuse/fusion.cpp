@@ -235,6 +235,11 @@ FusedCircuit fuse_circuit(const circuit::Circuit& c, const FusionOptions& opts) 
     item.block.unitary = std::move(b.unitary);
     item.block.gate_count = b.sources.size();
     item.block.diagonal = b.diagonal;
+    if (b.diagonal) {
+      const index_t block = dim(item.block.width());
+      item.block.diag.resize(block);
+      for (index_t d = 0; d < block; ++d) item.block.diag[d] = item.block.unitary(d, d);
+    }
     out.items.push_back(std::move(item));
   }
   return out;

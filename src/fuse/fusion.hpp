@@ -51,6 +51,10 @@ struct FusedOp {
   linalg::Matrix unitary;       ///< 2^k x 2^k, row-major.
   std::size_t gate_count = 0;   ///< Source gates folded into this block.
   bool diagonal = false;        ///< True if every folded gate was diagonal.
+  /// The 2^k diagonal of `unitary`, extracted at plan time when
+  /// `diagonal` (empty otherwise) — executors apply it directly without
+  /// per-block allocation in the hot loop.
+  std::vector<complex_t> diag;
 
   [[nodiscard]] qubit_t width() const noexcept {
     return static_cast<qubit_t>(qubits.size());

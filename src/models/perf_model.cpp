@@ -90,4 +90,17 @@ double asymptotic_crossover_strassen(qubit_t n) {
 
 double asymptotic_crossover_eig_coherent(qubit_t n) { return static_cast<double>(n); }
 
+double t_state_pass_seconds(qubit_t n, const MachineParams& m) {
+  const double size = std::ldexp(1.0, static_cast<int>(n));
+  return 32.0 * size / (m.b_mem_gbs * 1e9);
+}
+
+double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m) {
+  return static_cast<double>(passes) * t_state_pass_seconds(n, m);
+}
+
+bool remap_profitable(std::size_t ops_made_local, double remap_passes) {
+  return static_cast<double>(ops_made_local) - 1.0 > remap_passes;
+}
+
 }  // namespace qc::models

@@ -89,4 +89,32 @@ double asymptotic_crossover_gemm(qubit_t n);
 double asymptotic_crossover_strassen(qubit_t n);
 double asymptotic_crossover_eig_coherent(qubit_t n);
 
+// --- §4 locality cost model (cache-blocked scheduler, src/sched) -------
+//
+// The §3.2/§4 bandwidth argument at the cache level: every op executed
+// un-blocked pays one full read+write memory pass over the state vector
+// (the 4N·16/B_mem term of Eq. 6 with the gate count set to 1), while a
+// cache-blocked *sweep* pays a single pass for all of its chunk-local
+// ops together. Relocating a "high" qubit into the chunk-local low block
+// (the cache-level analogue of qHiPSTER's local/global rank exchange)
+// is itself one transposition pass now plus a share of the final
+// restore pass — so remapping is a pass-count trade the scheduler
+// resolves with the helpers below.
+
+/// Seconds for one full read+write memory pass over a 2^n state vector
+/// (32 bytes of DRAM traffic per amplitude) — the unit cost the
+/// cache-blocked scheduler trades in.
+double t_state_pass_seconds(qubit_t n, const MachineParams& m);
+
+/// Predicted seconds for a blocked execution: `passes` full-vector
+/// passes (sweeps + remaps + un-blocked ops), bandwidth-bound.
+double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m);
+
+/// Remap decision rule: making `ops_made_local` upcoming ops chunk-local
+/// saves them each a full pass (they then share ~one sweep pass), at the
+/// price of `remap_passes` transposition passes (the remap now plus the
+/// eventual restore, default 2). Profitable when saved passes
+/// (ops_made_local - 1) strictly exceed the remap passes.
+bool remap_profitable(std::size_t ops_made_local, double remap_passes = 2.0);
+
 }  // namespace qc::models

@@ -1,0 +1,114 @@
+#include "sched/cached_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "sim/kernels.hpp"
+
+namespace qc::sched {
+
+namespace {
+
+namespace kernels = sim::kernels;
+
+/// Serial single-gate dispatch on one cache-resident chunk — the same
+/// fast-path selection as HpcSimulator::apply_gate, minus the OpenMP
+/// (the caller parallelizes across chunks).
+void apply_gate_serial(std::span<complex_t> chunk, qubit_t width, const circuit::Gate& g) {
+  const index_t cmask = sim::control_mask(g);
+  if (g.kind == circuit::GateKind::Swap) {
+    kernels::apply_swap_serial(chunk, width, g.targets[0], g.targets[1], cmask);
+    return;
+  }
+  const qubit_t t = g.targets[0];
+  if (g.kind == circuit::GateKind::X) {
+    kernels::apply_x_serial(chunk, width, t, cmask);
+    return;
+  }
+  if (g.diagonal()) {
+    const auto [d0, d1] = sim::diagonal_entries(g);
+    kernels::apply_diagonal_serial(chunk, width, t, d0, d1, cmask);
+    return;
+  }
+  kernels::apply_folded_serial(chunk, width, t, cmask, sim::target_block(g));
+}
+
+void apply_chunk_op(std::span<complex_t> chunk, qubit_t width, const ChunkOp& op) {
+  switch (op.kind) {
+    case ChunkOp::Kind::Dense:
+      kernels::apply_multi_serial(chunk, width, op.qubits,
+                                  {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
+      return;
+    case ChunkOp::Kind::Diagonal:
+      kernels::apply_multi_diagonal_serial(chunk, width, op.qubits, op.diag);
+      return;
+    case ChunkOp::Kind::Gate:
+      apply_gate_serial(chunk, width, op.gate);
+      return;
+  }
+}
+
+/// One DRAM pass for the whole sweep: every op applies to a chunk while
+/// it is cache resident; parallelism is across chunks.
+void run_sweep(std::span<complex_t> a, qubit_t n, qubit_t chunk_width,
+               std::span<const ChunkOp> ops) {
+  const qubit_t width = std::min(chunk_width, n);
+  const index_t chunk_size = dim(width);
+  const auto chunks = static_cast<std::int64_t>(dim(n) >> width);
+#pragma omp parallel for schedule(static) if (worth_parallelizing(dim(n)) && chunks > 1)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::span<complex_t> chunk =
+        a.subspan(static_cast<index_t>(c) * chunk_size, chunk_size);
+    for (const ChunkOp& op : ops) apply_chunk_op(chunk, width, op);
+  }
+}
+
+}  // namespace
+
+void CachedSimulator::apply_gate(sim::StateVector& sv, const circuit::Gate& g) const {
+  hpc_.apply_gate(sv, g);
+}
+
+BlockedPlan CachedSimulator::plan(const circuit::Circuit& c) const {
+  // Narrow the fusion width to the scheduler's in-cache optimum: the
+  // full-pass saving that justifies wide blocks does not apply inside a
+  // chunk-resident sweep (see ScheduleOptions::max_block_width).
+  fuse::FusionOptions fusion = opts_.fusion;
+  fusion.max_width = std::min(fusion.max_width, opts_.sched.max_block_width);
+  return schedule(fuse::fuse_circuit(c, fusion), opts_.sched);
+}
+
+void CachedSimulator::execute(sim::StateVector& sv, const BlockedPlan& plan) const {
+  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
+  const auto a = sv.amplitudes();
+  for (const PlanItem& item : plan.items) {
+    switch (item.kind) {
+      case PlanItem::Kind::Sweep:
+        run_sweep(a, plan.n, plan.chunk_width, item.ops);
+        break;
+      case PlanItem::Kind::Remap:
+        sim::kernels::apply_qubit_swaps(a, plan.n, item.swaps);
+        break;
+      case PlanItem::Kind::Global: {
+        const ChunkOp& op = item.global;
+        if (op.kind == ChunkOp::Kind::Dense) {
+          sim::kernels::apply_multi(a, plan.n, op.qubits,
+                                    {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
+        } else if (op.kind == ChunkOp::Kind::Diagonal) {
+          sim::kernels::apply_multi_diagonal(a, plan.n, op.qubits, op.diag);
+        } else {
+          hpc_.apply_gate(sv, op.gate);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CachedSimulator::run(sim::StateVector& sv, const circuit::Circuit& c) const {
+  if (c.qubits() != sv.qubits()) throw std::invalid_argument("run: qubit count mismatch");
+  execute(sv, plan(c));
+}
+
+}  // namespace qc::sched

@@ -1,0 +1,56 @@
+// CachedSimulator — the cache-blocked execution backend ("cached").
+//
+// run() lowers the circuit through fuse::fuse_circuit (same pass as the
+// "fused" backend), then through sched::schedule, and executes the
+// blocked plan:
+//
+//  * Sweep items walk the state vector chunk by chunk (2^L amplitudes,
+//    L = plan.chunk_width) and apply every op of the sweep to a chunk
+//    while it is cache resident — one `omp parallel` region over chunks
+//    per sweep, serial chunk-local kernels inside. This replaces the
+//    fused backend's one-full-DRAM-pass-per-block with one pass per
+//    sweep (paper §4: the simulation is bandwidth bound, so fewer state
+//    traversals is the whole game).
+//  * Remap items relocate high qubits into the low block in one
+//    transposition pass (kernels::apply_qubit_swaps).
+//  * Global items (ops wider than a chunk, or not worth remapping) run
+//    through the same full-vector kernels the fused backend uses.
+//
+// Per-gate apply_gate() is identical to HpcSimulator — blocking is a
+// cross-op optimization. plan() + execute() let iterative callers pay
+// fusion + scheduling once.
+#pragma once
+
+#include "fuse/fusion.hpp"
+#include "sched/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace qc::sched {
+
+class CachedSimulator final : public sim::Simulator {
+ public:
+  struct Options {
+    fuse::FusionOptions fusion;
+    ScheduleOptions sched;
+  };
+
+  CachedSimulator() = default;
+  explicit CachedSimulator(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "cached"; }
+
+  void apply_gate(sim::StateVector& sv, const circuit::Gate& g) const override;
+  void run(sim::StateVector& sv, const circuit::Circuit& c) const override;
+
+  /// The fusion + blocking pipeline this backend would run on `c`.
+  [[nodiscard]] BlockedPlan plan(const circuit::Circuit& c) const;
+
+  /// Executes a prebuilt plan (must match sv's qubit count).
+  void execute(sim::StateVector& sv, const BlockedPlan& plan) const;
+
+ private:
+  sim::HpcSimulator hpc_;
+  Options opts_;
+};
+
+}  // namespace qc::sched

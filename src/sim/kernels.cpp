@@ -110,6 +110,157 @@ void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index
 
 namespace {
 
+// The serial kernels below are the per-chunk inner loops of the
+// cache-blocked executor: they run inside an outer cross-chunk parallel
+// region, so unlike the kernels above they cannot lean on OpenMP — and
+// without the pragma the compiler no longer assumes iteration
+// independence, so the generic loops stay scalar. The uncontrolled fast
+// paths therefore operate on the contiguous (target=0, target=1) runs
+// through raw double planes (std::complex guarantees the {re, im}
+// array layout), which auto-vectorizes and runs ~3x faster than the
+// scalar pair loop on AVX2.
+
+/// Multiplies the `count` complex amplitudes at `c` by the scalar d.
+inline void scale_run(complex_t* c, index_t count, complex_t d) {
+  const double dr = d.real(), di = d.imag();
+  auto* p = reinterpret_cast<double*>(c);
+  for (index_t i = 0; i < 2 * count; i += 2) {
+    const double xr = p[i], xi = p[i + 1];
+    p[i] = xr * dr - xi * di;
+    p[i + 1] = xr * di + xi * dr;
+  }
+}
+
+/// Serial enumeration of expanded indices: j in [0, count) visits every
+/// index with 0 bits at `pos`. The 1/2/3-position cases (one target plus
+/// up to two controls — nearly every gate) inline the insert_bit chain
+/// so the compiler keeps the loop tight; BitExpander's runtime position
+/// loop costs ~2x on these serial sweeps (measured at 22 qubits).
+template <typename F>
+inline void expanded_loop(std::span<const qubit_t> pos, index_t count, F&& f) {
+  switch (pos.size()) {
+    case 1: {
+      const qubit_t p0 = pos[0];
+      for (index_t j = 0; j < count; ++j) f(bits::insert_bit(j, p0));
+      return;
+    }
+    case 2: {
+      const qubit_t p0 = pos[0], p1 = pos[1];
+      for (index_t j = 0; j < count; ++j) f(bits::insert_bit(bits::insert_bit(j, p0), p1));
+      return;
+    }
+    case 3: {
+      const qubit_t p0 = pos[0], p1 = pos[1], p2 = pos[2];
+      for (index_t j = 0; j < count; ++j)
+        f(bits::insert_bit(bits::insert_bit(bits::insert_bit(j, p0), p1), p2));
+      return;
+    }
+    default: {
+      const BitExpander expand{pos};
+      for (index_t j = 0; j < count; ++j) f(expand(j));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
+                         const U2& u) {
+  const index_t tbit = index_t{1} << target;
+  if (cmask == 0) {
+    // Uncontrolled: the (target=0, target=1) partners form contiguous
+    // runs of 2^target amplitudes; process them through double planes.
+    const index_t size = dim(n);
+    const double ar = u.m00.real(), ai = u.m00.imag(), br = u.m01.real(), bi = u.m01.imag();
+    const double cr = u.m10.real(), ci = u.m10.imag(), dr = u.m11.real(), di = u.m11.imag();
+    auto* p = reinterpret_cast<double*>(a.data());
+    for (index_t g = 0; g < size; g += tbit << 1) {
+      double* p0 = p + 2 * g;
+      double* p1 = p + 2 * (g + tbit);
+      for (index_t i = 0; i < 2 * tbit; i += 2) {
+        const double x0r = p0[i], x0i = p0[i + 1], x1r = p1[i], x1i = p1[i + 1];
+        p0[i] = ar * x0r - ai * x0i + br * x1r - bi * x1i;
+        p0[i + 1] = ar * x0i + ai * x0r + br * x1i + bi * x1r;
+        p1[i] = cr * x0r - ci * x0i + dr * x1r - di * x1i;
+        p1[i + 1] = cr * x0i + ci * x0r + dr * x1i + di * x1r;
+      }
+    }
+    return;
+  }
+  const auto pos = sorted_bit_positions(cmask, {target});
+  const index_t count = dim(n) >> pos.size();
+  expanded_loop(pos, count, [&](index_t expanded) {
+    const index_t i0 = expanded | cmask;
+    const index_t i1 = i0 | tbit;
+    const complex_t x0 = a[i0], x1 = a[i1];
+    a[i0] = u.m00 * x0 + u.m01 * x1;
+    a[i1] = u.m10 * x0 + u.m11 * x1;
+  });
+}
+
+void apply_diagonal_serial(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
+                           complex_t d1, index_t cmask) {
+  const index_t tbit = index_t{1} << target;
+  if (cmask == 0) {
+    // Uncontrolled: the target=1 (and, unless d0 == 1, target=0)
+    // amplitudes form contiguous runs — scale them plane-wise.
+    const index_t size = dim(n);
+    const bool skip0 = d0 == complex_t{1.0};
+    for (index_t g = 0; g < size; g += tbit << 1) {
+      if (!skip0) scale_run(a.data() + g, tbit, d0);
+      scale_run(a.data() + g + tbit, tbit, d1);
+    }
+    return;
+  }
+  if (d0 == complex_t{1.0}) {
+    const auto pos = sorted_bit_positions(cmask, {target});
+    const index_t count = dim(n) >> pos.size();
+    const index_t set_mask = cmask | tbit;
+    expanded_loop(pos, count, [&](index_t expanded) { a[expanded | set_mask] *= d1; });
+    return;
+  }
+  const auto pos = sorted_bit_positions(cmask, {});
+  const index_t count = dim(n) >> pos.size();
+  expanded_loop(pos, count, [&](index_t expanded) {
+    const index_t i = expanded | cmask;
+    a[i] *= (i & tbit) ? d1 : d0;
+  });
+}
+
+void apply_x_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask) {
+  const index_t tbit = index_t{1} << target;
+  if (cmask == 0) {
+    // Uncontrolled NOT: exchange the contiguous target=0 / target=1 runs.
+    const index_t size = dim(n);
+    for (index_t g = 0; g < size; g += tbit << 1)
+      std::swap_ranges(a.begin() + static_cast<std::ptrdiff_t>(g),
+                       a.begin() + static_cast<std::ptrdiff_t>(g + tbit),
+                       a.begin() + static_cast<std::ptrdiff_t>(g + tbit));
+    return;
+  }
+  const auto pos = sorted_bit_positions(cmask, {target});
+  const index_t count = dim(n) >> pos.size();
+  expanded_loop(pos, count, [&](index_t expanded) {
+    const index_t i0 = expanded | cmask;
+    std::swap(a[i0], a[i0 | tbit]);
+  });
+}
+
+void apply_swap_serial(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb,
+                       index_t cmask) {
+  const auto pos = sorted_bit_positions(cmask, {qa, qb});
+  const index_t count = dim(n) >> pos.size();
+  const index_t abit = index_t{1} << qa;
+  const index_t bbit = index_t{1} << qb;
+  expanded_loop(pos, count, [&](index_t expanded) {
+    const index_t base = expanded | cmask;
+    std::swap(a[base | abit], a[base | bbit]);
+  });
+}
+
+namespace {
+
 /// Spreads the k local bits of every b in [0, 2^k) to the global
 /// positions `targets`, so base | offs[b] walks one amplitude block.
 template <index_t B>
@@ -127,8 +278,10 @@ std::array<index_t, B> block_offsets(std::span<const qubit_t> targets) {
 /// Width-templated block apply: the compile-time block size lets the
 /// compiler fully unroll / FMA-vectorize the mat-vec, and the unitary is
 /// split once into real/imag planes so the hot loop is plain double
-/// arithmetic (std::complex products inhibit vectorization).
-template <unsigned K>
+/// arithmetic (std::complex products inhibit vectorization). `Par`
+/// selects the OpenMP sweep vs the serial chunk-local form used inside
+/// the cache-blocked executor's cross-chunk parallel region.
+template <unsigned K, bool Par>
 void apply_multi_t(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
                    std::span<const complex_t> u) {
   constexpr index_t B = index_t{1} << K;
@@ -140,34 +293,42 @@ void apply_multi_t(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> t
     ui[i] = u[i].imag();
   }
   const index_t count = dim(n) >> K;
-#pragma omp parallel if (worth_parallelizing(count))
-  {
-    alignas(64) std::array<double, B> xr, xi, yr, yi;
-#pragma omp for schedule(static)
-    for (index_t j = 0; j < count; ++j) {
-      const index_t base = expand(j);
-      for (index_t b = 0; b < B; ++b) {
-        const complex_t v = a[base | offs[b]];
-        xr[b] = v.real();
-        xi[b] = v.imag();
-      }
-      for (index_t r = 0; r < B; ++r) {
-        const double* urow = ur.data() + r * B;
-        const double* uirow = ui.data() + r * B;
-        double accr = 0.0, acci = 0.0;
-        for (index_t c = 0; c < B; ++c) {
-          accr += urow[c] * xr[c] - uirow[c] * xi[c];
-          acci += urow[c] * xi[c] + uirow[c] * xr[c];
-        }
-        yr[r] = accr;
-        yi[r] = acci;
-      }
-      for (index_t b = 0; b < B; ++b) a[base | offs[b]] = complex_t{yr[b], yi[b]};
+  const auto body = [&](index_t j, std::array<double, B>& xr, std::array<double, B>& xi,
+                        std::array<double, B>& yr, std::array<double, B>& yi) {
+    const index_t base = expand(j);
+    for (index_t b = 0; b < B; ++b) {
+      const complex_t v = a[base | offs[b]];
+      xr[b] = v.real();
+      xi[b] = v.imag();
     }
+    for (index_t r = 0; r < B; ++r) {
+      const double* urow = ur.data() + r * B;
+      const double* uirow = ui.data() + r * B;
+      double accr = 0.0, acci = 0.0;
+      for (index_t c = 0; c < B; ++c) {
+        accr += urow[c] * xr[c] - uirow[c] * xi[c];
+        acci += urow[c] * xi[c] + uirow[c] * xr[c];
+      }
+      yr[r] = accr;
+      yi[r] = acci;
+    }
+    for (index_t b = 0; b < B; ++b) a[base | offs[b]] = complex_t{yr[b], yi[b]};
+  };
+  if constexpr (Par) {
+#pragma omp parallel if (worth_parallelizing(count))
+    {
+      alignas(64) std::array<double, B> xr, xi, yr, yi;
+#pragma omp for schedule(static)
+      for (index_t j = 0; j < count; ++j) body(j, xr, xi, yr, yi);
+    }
+  } else {
+    alignas(64) std::array<double, B> xr, xi, yr, yi;
+    for (index_t j = 0; j < count; ++j) body(j, xr, xi, yr, yi);
   }
 }
 
 /// Generic fallback for the widest blocks (heap-sized scratch).
+template <bool Par>
 void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
                          std::span<const complex_t> u) {
   const auto k = static_cast<qubit_t>(targets.size());
@@ -176,21 +337,95 @@ void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubi
   const auto offs = block_offsets<dim(kMaxFusedWidth)>(targets);
   const complex_t* um = u.data();
   const index_t count = dim(n) >> k;
-#pragma omp parallel if (worth_parallelizing(count))
-  {
-    std::vector<complex_t> x(block), y(block);
-#pragma omp for schedule(static)
-    for (index_t j = 0; j < count; ++j) {
-      const index_t base = expand(j);
-      for (index_t b = 0; b < block; ++b) x[b] = a[base | offs[b]];
-      for (index_t r = 0; r < block; ++r) {
-        const complex_t* row = um + r * block;
-        complex_t acc{};
-        for (index_t c = 0; c < block; ++c) acc += row[c] * x[c];
-        y[r] = acc;
-      }
-      for (index_t b = 0; b < block; ++b) a[base | offs[b]] = y[b];
+  const auto body = [&](index_t j, std::vector<complex_t>& x, std::vector<complex_t>& y) {
+    const index_t base = expand(j);
+    for (index_t b = 0; b < block; ++b) x[b] = a[base | offs[b]];
+    for (index_t r = 0; r < block; ++r) {
+      const complex_t* row = um + r * block;
+      complex_t acc{};
+      for (index_t c = 0; c < block; ++c) acc += row[c] * x[c];
+      y[r] = acc;
     }
+    for (index_t b = 0; b < block; ++b) a[base | offs[b]] = y[b];
+  };
+  if constexpr (Par) {
+#pragma omp parallel if (worth_parallelizing(count))
+    {
+      std::vector<complex_t> x(block), y(block);
+#pragma omp for schedule(static)
+      for (index_t j = 0; j < count; ++j) body(j, x, y);
+    }
+  } else {
+    std::vector<complex_t> x(block), y(block);
+    for (index_t j = 0; j < count; ++j) body(j, x, y);
+  }
+}
+
+/// Serial 2-qubit dense apply for the chunk executor: the generic
+/// gather kernel pays per-block staging (~2x at B = 4); this walks the
+/// four target-bit runs directly and does the unrolled 4x4 mat-vec in
+/// double planes, which vectorizes across the contiguous low-bit run.
+void apply_multi2_serial(std::span<complex_t> a, qubit_t n, qubit_t t0, qubit_t t1,
+                         std::span<const complex_t> u) {
+  const index_t size = dim(n);
+  const index_t b0 = index_t{1} << t0;
+  const index_t b1 = index_t{1} << t1;
+  // Unitary coefficient planes, row-major 4x4.
+  double ur[16], ui[16];
+  for (int i = 0; i < 16; ++i) {
+    ur[i] = u[i].real();
+    ui[i] = u[i].imag();
+  }
+  for (index_t g1 = 0; g1 < size; g1 += b1 << 1) {
+    for (index_t g0 = g1; g0 < g1 + b1; g0 += b0 << 1) {
+      // Four interleaved runs of b0 amplitudes: local basis {00,01,10,11}
+      // at offsets {0, b0, b1, b0 + b1} (local bit 0 <-> t0).
+      double* p0 = reinterpret_cast<double*>(a.data() + g0);
+      double* p1 = p0 + 2 * b0;
+      double* p2 = reinterpret_cast<double*>(a.data() + g0 + b1);
+      double* p3 = p2 + 2 * b0;
+      for (index_t i = 0; i < 2 * b0; i += 2) {
+        const double xr[4] = {p0[i], p1[i], p2[i], p3[i]};
+        const double xi[4] = {p0[i + 1], p1[i + 1], p2[i + 1], p3[i + 1]};
+        double yr[4], yi[4];
+        for (int r = 0; r < 4; ++r) {
+          const double* urr = ur + 4 * r;
+          const double* uir = ui + 4 * r;
+          yr[r] = urr[0] * xr[0] - uir[0] * xi[0] + urr[1] * xr[1] - uir[1] * xi[1] +
+                  urr[2] * xr[2] - uir[2] * xi[2] + urr[3] * xr[3] - uir[3] * xi[3];
+          yi[r] = urr[0] * xi[0] + uir[0] * xr[0] + urr[1] * xi[1] + uir[1] * xr[1] +
+                  urr[2] * xi[2] + uir[2] * xr[2] + urr[3] * xi[3] + uir[3] * xr[3];
+        }
+        p0[i] = yr[0];
+        p0[i + 1] = yi[0];
+        p1[i] = yr[1];
+        p1[i + 1] = yi[1];
+        p2[i] = yr[2];
+        p2[i + 1] = yi[2];
+        p3[i] = yr[3];
+        p3[i + 1] = yi[3];
+      }
+    }
+  }
+}
+
+template <bool Par>
+void apply_multi_dispatch(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                          std::span<const complex_t> u) {
+  const auto k = static_cast<qubit_t>(targets.size());
+  assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
+  assert(u.size() == dim(k) * dim(k));
+  assert(std::is_sorted(targets.begin(), targets.end()));
+  switch (k) {
+    case 1: return apply_multi_t<1, Par>(a, n, targets, u);
+    case 2:
+      if constexpr (!Par) return apply_multi2_serial(a, n, targets[0], targets[1], u);
+      return apply_multi_t<2, Par>(a, n, targets, u);
+    case 3: return apply_multi_t<3, Par>(a, n, targets, u);
+    case 4: return apply_multi_t<4, Par>(a, n, targets, u);
+    case 5: return apply_multi_t<5, Par>(a, n, targets, u);
+    case 6: return apply_multi_t<6, Par>(a, n, targets, u);
+    default: return apply_multi_generic<Par>(a, n, targets, u);
   }
 }
 
@@ -198,19 +433,12 @@ void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubi
 
 void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
                  std::span<const complex_t> u) {
-  const auto k = static_cast<qubit_t>(targets.size());
-  assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
-  assert(u.size() == dim(k) * dim(k));
-  assert(std::is_sorted(targets.begin(), targets.end()));
-  switch (k) {
-    case 1: return apply_multi_t<1>(a, n, targets, u);
-    case 2: return apply_multi_t<2>(a, n, targets, u);
-    case 3: return apply_multi_t<3>(a, n, targets, u);
-    case 4: return apply_multi_t<4>(a, n, targets, u);
-    case 5: return apply_multi_t<5>(a, n, targets, u);
-    case 6: return apply_multi_t<6>(a, n, targets, u);
-    default: return apply_multi_generic(a, n, targets, u);
-  }
+  apply_multi_dispatch<true>(a, n, targets, u);
+}
+
+void apply_multi_serial(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                        std::span<const complex_t> u) {
+  apply_multi_dispatch<false>(a, n, targets, u);
 }
 
 void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
@@ -227,8 +455,69 @@ void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qub
   }
 }
 
+void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
+                                 std::span<const qubit_t> targets,
+                                 std::span<const complex_t> d) {
+  const auto k = static_cast<qubit_t>(targets.size());
+  assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
+  assert(d.size() == dim(k));
+  const index_t size = dim(n);
+  for (index_t i = 0; i < size; ++i) {
+    index_t b = 0;
+    for (qubit_t l = 0; l < k; ++l) b |= bits::get(i, targets[l]) << l;
+    a[i] *= d[b];
+  }
+}
+
+void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
+                       std::span<const std::array<qubit_t, 2>> pairs) {
+  if (pairs.empty()) return;
+#ifndef NDEBUG
+  index_t seen = 0;
+  for (const auto& p : pairs) {
+    assert(p[0] < n && p[1] < n && p[0] != p[1]);
+    assert(!bits::test(seen, p[0]) && !bits::test(seen, p[1]));
+    seen = bits::set(bits::set(seen, p[0]), p[1]);
+  }
+#endif
+  const index_t size = dim(n);
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+  for (index_t i = 0; i < size; ++i) {
+    index_t j = i;
+    for (const auto& p : pairs)
+      if (bits::get(i, p[0]) != bits::get(i, p[1]))
+        j ^= (index_t{1} << p[0]) | (index_t{1} << p[1]);
+    if (j > i) std::swap(a[i], a[j]);
+  }
+}
+
 void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms) {
   const index_t size = a.size();
+  // Factor-table fast path: when the union support fits a fused-width
+  // block, each amplitude's factor depends only on those k bits —
+  // precompute all 2^k products once and let apply_multi_diagonal do a
+  // branch-free table-lookup sweep.
+  index_t support = 0;
+  for (const DiagonalTerm& t : terms) support |= t.cmask | (index_t{1} << t.target);
+  const int k = bits::popcount(support);
+  if (k >= 1 && k <= static_cast<int>(kMaxFusedWidth)) {
+    const std::vector<qubit_t> pos = sorted_bit_positions(support);
+    const index_t block = index_t{1} << k;
+    std::vector<complex_t> d(block);
+    for (index_t b = 0; b < block; ++b) {
+      index_t idx = 0;
+      for (int l = 0; l < k; ++l)
+        if (bits::test(b, static_cast<qubit_t>(l))) idx = bits::set(idx, pos[l]);
+      complex_t factor{1.0};
+      for (const DiagonalTerm& t : terms) {
+        if ((idx & t.cmask) != t.cmask) continue;
+        factor *= bits::test(idx, t.target) ? t.d1 : t.d0;
+      }
+      d[b] = factor;
+    }
+    apply_multi_diagonal(a, bits::log2_floor(size), pos, d);
+    return;
+  }
 #pragma omp parallel for schedule(static) if (worth_parallelizing(size))
   for (index_t i = 0; i < size; ++i) {
     complex_t factor{1.0};

@@ -99,6 +99,23 @@ void apply_x(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask);
 void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index_t cmask);
 
 // ---------------------------------------------------------------------
+// Serial chunk-local variants (cache-blocked execution, qc::sched).
+//
+// Same math as the parallel kernels above, with no OpenMP region: the
+// cache-blocked executor parallelizes *across* chunks and calls these on
+// one cache-resident chunk (a, n = chunk width) from inside that outer
+// parallel loop, so the inner kernels must stay serial.
+// ---------------------------------------------------------------------
+
+void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
+                         const U2& u);
+void apply_diagonal_serial(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
+                           complex_t d1, index_t cmask);
+void apply_x_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask);
+void apply_swap_serial(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb,
+                       index_t cmask);
+
+// ---------------------------------------------------------------------
 // Fusion tier.
 // ---------------------------------------------------------------------
 
@@ -112,7 +129,11 @@ struct DiagonalTerm {
 /// Applies a run of diagonal gates in a single sweep: each amplitude is
 /// multiplied by the product of its per-gate factors. One memory pass
 /// instead of terms.size() passes — the memory-bound win measured by the
-/// ablation bench.
+/// ablation bench. When the union of the terms' support (targets plus
+/// controls) spans at most kMaxFusedWidth qubits, the per-amplitude
+/// factor depends only on those bits: the 2^k factor table is built once
+/// and the sweep dispatches to apply_multi_diagonal, replacing the
+/// O(size x terms) branchy inner loop with one table lookup.
 void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms);
 
 // ---------------------------------------------------------------------
@@ -139,6 +160,29 @@ void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> tar
 /// entries). Single in-place sweep, no gather/scatter.
 void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
                           std::span<const complex_t> d);
+
+/// Serial chunk-local variants of the k-qubit tier (see the serial
+/// single-gate variants above for the calling convention).
+void apply_multi_serial(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
+                        std::span<const complex_t> u);
+void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
+                                 std::span<const qubit_t> targets,
+                                 std::span<const complex_t> d);
+
+// ---------------------------------------------------------------------
+// Qubit remapping (cache-blocked scheduler's local/global relocation).
+// ---------------------------------------------------------------------
+
+/// Applies a set of disjoint qubit transpositions in ONE full pass:
+/// amplitude i exchanges with the index obtained by swapping, for every
+/// pair {a, b}, bits a and b of i. Because the pairs are disjoint the
+/// index map is an involution, so the sweep is race-free in place (the
+/// iteration owning min(i, image) performs the swap) — this is how the
+/// sched layer relocates "high" qubits into the cache-local low block,
+/// the cache-level analogue of dist_sv's rank exchange. All pair
+/// members must be distinct qubits below n.
+void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
+                       std::span<const std::array<qubit_t, 2>> pairs);
 
 // ---------------------------------------------------------------------
 // Permutation / phase templates (inlined per callsite; used by the

@@ -87,9 +87,11 @@ class HpcSimulator final : public Simulator {
   Options opts_;
 };
 
-/// Factory by name ("hpc", "qhipster-like", "liquid-like", "fused") for
-/// benches and tools. "fused" is fuse::FusedSimulator — the gate-fusion
-/// backend layered on top of HpcSimulator's fast paths. A thin shim over
+/// Factory by name ("hpc", "qhipster-like", "liquid-like", "fused",
+/// "cached") for benches and tools. "fused" is fuse::FusedSimulator —
+/// the gate-fusion backend layered on top of HpcSimulator's fast paths;
+/// "cached" is sched::CachedSimulator — fusion plus cache-blocked sweep
+/// execution. A thin shim over
 /// engine::make_gate_simulator (the backend registry is the authority on
 /// names; unknown names throw std::invalid_argument enumerating the
 /// valid ones). Emulation-only backends like "auto" are not plain

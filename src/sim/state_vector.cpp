@@ -9,12 +9,24 @@
 namespace qc::sim {
 
 StateVector::StateVector(qubit_t n_qubits) : n_(n_qubits), data_(dim(n_qubits)) {
+  // data_ is allocated uninitialized (UninitAlignedAllocator); the
+  // parallel first-touch fill below places each page on the NUMA node of
+  // the thread that will sweep it in the kernels — a serial zero fill
+  // would land every page on one node and make all kernels pay
+  // remote-memory latency on multi-socket boxes.
+  zero_fill();
   data_[0] = 1.0;
+}
+
+void StateVector::zero_fill() {
+  const index_t count = size();
+#pragma omp parallel for schedule(static) if (worth_parallelizing(count))
+  for (index_t i = 0; i < count; ++i) data_[i] = complex_t{};
 }
 
 void StateVector::set_basis(index_t i) {
   if (i >= size()) throw std::invalid_argument("set_basis: index out of range");
-  std::fill(data_.begin(), data_.end(), complex_t{});
+  zero_fill();
   data_[i] = 1.0;
 }
 

@@ -75,8 +75,12 @@ class StateVector {
   void collapse(qubit_t q, int outcome);
 
  private:
+  /// Parallel zero fill with the kernels' static schedule, so page first
+  /// touch (NUMA placement) matches the threads that later sweep them.
+  void zero_fill();
+
   qubit_t n_;
-  aligned_vector<complex_t> data_;
+  uninit_aligned_vector<complex_t> data_;
 };
 
 /// Fills `data` — a window [global_offset, global_offset + data.size())
