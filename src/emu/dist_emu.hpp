@@ -21,6 +21,11 @@
 
 namespace qc::emu {
 
+/// Collective <psi| Z_mask |psi> over a distributed state (§3.4 at
+/// cluster scale): each rank reduces its chunk with the global basis
+/// index (rank bits included in the parity), one scalar allreduce.
+double expectation_z_string(const sim::DistStateVector& dsv, index_t mask);
+
 class DistEmulator {
  public:
   /// Wraps (does not own) a distributed state vector. All methods are

@@ -6,6 +6,7 @@
 
 #include "circuit/circuit.hpp"
 #include "common/parallel.hpp"
+#include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
 
 namespace qc::emu {
@@ -68,20 +69,10 @@ double sampled_z_string(const sim::StateVector& sv, index_t mask, std::size_t sh
   if (shots == 0) throw std::invalid_argument("sampled_z_string: zero shots");
   // Build the CDF once (a hardware run would re-execute the circuit per
   // shot; the per-shot draw below is the irreducible statistical cost).
-  const auto a = sv.amplitudes();
-  std::vector<double> cdf(a.size());
-  double acc = 0;
-  for (index_t i = 0; i < a.size(); ++i) {
-    acc += std::norm(a[i]);
-    cdf[i] = acc;
-  }
+  const sim::SampleCdf cdf = sim::SampleCdf::from_amplitudes(sv.amplitudes());
   long sum = 0;
-  for (std::size_t s = 0; s < shots; ++s) {
-    const double u = rng.uniform() * acc;
-    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-    const index_t outcome = static_cast<index_t>(it - cdf.begin());
-    sum += bits::parity(outcome, mask) ? -1 : 1;
-  }
+  for (std::size_t s = 0; s < shots; ++s)
+    sum += bits::parity(cdf.sample(rng), mask) ? -1 : 1;
   return static_cast<double>(sum) / static_cast<double>(shots);
 }
 
@@ -89,18 +80,9 @@ std::map<index_t, std::size_t> sample_register_counts(const sim::StateVector& sv
                                                       qubit_t offset, qubit_t width,
                                                       std::size_t shots, Rng& rng) {
   const std::vector<double> dist = sv.register_distribution(offset, width);
-  std::vector<double> cdf(dist.size());
-  double acc = 0;
-  for (std::size_t v = 0; v < dist.size(); ++v) {
-    acc += dist[v];
-    cdf[v] = acc;
-  }
+  const sim::SampleCdf cdf = sim::SampleCdf::from_weights(dist);
   std::map<index_t, std::size_t> counts;
-  for (std::size_t s = 0; s < shots; ++s) {
-    const double u = rng.uniform() * acc;
-    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-    ++counts[static_cast<index_t>(it - cdf.begin())];
-  }
+  for (std::size_t s = 0; s < shots; ++s) ++counts[cdf.sample(rng)];
   return counts;
 }
 

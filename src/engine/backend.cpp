@@ -4,14 +4,33 @@
 #include <map>
 #include <stdexcept>
 
+#include "emu/dist_emu.hpp"
+#include "emu/observables.hpp"
 #include "fuse/fused_simulator.hpp"
 #include "sched/cached_simulator.hpp"
+#include "sched/dist_schedule.hpp"
+#include "sim/sampling.hpp"
 
 namespace qc::engine {
 
 void Backend::run_highlevel(sim::StateVector&, const Op& op) {
   throw std::logic_error("backend '" + name() + "' is gate-level and cannot run '" +
                          op.label() + "'; lower() the program first");
+}
+
+index_t Backend::measure_register(sim::StateVector& sv, RegRef r, double u, bool collapse) {
+  // §3.4: one distribution pass, one uniform draw — through the shared
+  // sampler, which never picks a zero-probability outcome.
+  const std::vector<double> dist = sv.register_distribution(r.offset, r.width);
+  const index_t outcome = sim::SampleCdf::from_weights(dist).sample(u);
+  if (collapse)
+    for (qubit_t j = 0; j < r.width; ++j)
+      sv.collapse(r.offset + j, bits::test(outcome, j) ? 1 : 0);
+  return outcome;
+}
+
+double Backend::expectation_z(sim::StateVector& sv, index_t mask) {
+  return emu::expectation_z_string(sv, mask);
 }
 
 namespace {
@@ -78,6 +97,105 @@ class AutoBackend final : public Backend {
   sim::StateVector* bound_ = nullptr;
 };
 
+/// The distributed execution backend ("dist"): gate segments are
+/// planned once by sched::dist_schedule, then an in-process cluster of
+/// opts.dist_ranks rank threads scatters the engine's state, runs the
+/// plan (rank-local fused/cache-blocked sweeps, amortized global<->local
+/// exchange passes, per-gate fallbacks), and gathers the chunks back.
+/// Measurement ops run collectively against the distributed state —
+/// DistStateVector's §3.4 surface — with the engine's uniform draw, so
+/// the recorded streams match the serial backends seed for seed.
+class DistBackend final : public Backend {
+ public:
+  explicit DistBackend(const RunOptions& opts)
+      : ranks_(opts.dist_ranks), policy_(opts.dist_policy) {
+    if (ranks_ < 1 || !bits::is_pow2(static_cast<index_t>(ranks_)))
+      throw std::invalid_argument("dist backend: rank count must be a power of two >= 1");
+    dopts_.fusion = opts.fusion;
+    dopts_.sched = opts.sched;
+    dopts_.remap = opts.dist_remap;
+    dopts_.policy = opts.dist_policy;
+  }
+
+  [[nodiscard]] std::string name() const override { return "dist"; }
+
+  void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+    if (c.empty()) return;
+    const int ranks = effective_ranks(sv.qubits());
+    const auto global = static_cast<qubit_t>(bits::log2_floor(static_cast<index_t>(ranks)));
+    const sched::DistPlan plan =
+        sched::dist_schedule(c, static_cast<qubit_t>(sv.qubits() - global), dopts_);
+    with_cluster(sv, ranks, [&](sim::DistStateVector& dsv) {
+      sched::run_dist_plan(dsv, plan, policy_);
+      return true;
+    });
+  }
+
+  index_t measure_register(sim::StateVector& sv, RegRef r, double u,
+                           bool collapse) override {
+    index_t outcome = 0;
+    with_cluster(sv, effective_ranks(sv.qubits()), [&](sim::DistStateVector& dsv) {
+      const std::vector<double> dist = dsv.register_distribution(r.offset, r.width);
+      const index_t o = sim::SampleCdf::from_weights(dist).sample(u);
+      if (dsv.comm().rank() == 0) outcome = o;
+      if (!collapse) return false;  // read-only: leave sv bit-identical
+      for (qubit_t j = 0; j < r.width; ++j)
+        dsv.collapse(r.offset + j, bits::test(o, j) ? 1 : 0);
+      return true;
+    });
+    return outcome;
+  }
+
+  double expectation_z(sim::StateVector& sv, index_t mask) override {
+    double value = 0;
+    with_cluster(sv, effective_ranks(sv.qubits()), [&](sim::DistStateVector& dsv) {
+      const double v = emu::expectation_z_string(dsv, mask);
+      if (dsv.comm().rank() == 0) value = v;
+      return false;
+    });
+    return value;
+  }
+
+ private:
+  /// Every rank must keep at least one *local* qubit (the distributed
+  /// planner schedules within the local block), so the rank count clamps
+  /// to 2^(n-1) for narrow registers (lowered programs can be tiny).
+  [[nodiscard]] int effective_ranks(qubit_t n) const {
+    if (n <= 1) return 1;
+    return static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(ranks_), dim(static_cast<qubit_t>(n - 1))));
+  }
+
+  /// Scatters sv over a fresh in-process cluster, runs `body` on every
+  /// rank, and gathers the disjoint chunks back when body returns true.
+  /// Each engine-routed op pays one rank-thread spawn/join plus the
+  /// scatter/gather copies because Cluster::run is synchronous — fine
+  /// for this in-process demonstrator, and the cost is per *op*, not
+  /// per gate (a segment's whole plan runs inside one cluster). A
+  /// persistent rank pool that keeps the state resident across ops is
+  /// the natural next step once the cluster substrate grows a job
+  /// queue.
+  template <typename Body>
+  void with_cluster(sim::StateVector& sv, int ranks, const Body& body) {
+    cluster::Cluster cl(ranks);
+    const auto a = sv.amplitudes();
+    cl.run([&](cluster::Comm& comm) {
+      sim::DistStateVector dsv(comm, sv.qubits());
+      const index_t chunk = dim(dsv.local_qubits());
+      const auto base = static_cast<std::ptrdiff_t>(comm.rank()) *
+                        static_cast<std::ptrdiff_t>(chunk);
+      std::copy(a.begin() + base, a.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                dsv.local().begin());
+      if (body(dsv))
+        std::copy(dsv.local().begin(), dsv.local().end(), a.begin() + base);
+    });
+  }
+
+  int ranks_;
+  sim::CommPolicy policy_;
+  sched::DistScheduleOptions dopts_;
+};
+
 struct BackendEntry {
   BackendFactory make;
   SimulatorFactory make_sim;  // null for emulation-only backends
@@ -113,6 +231,11 @@ std::map<std::string, BackendEntry>& registry() {
     r["auto"] = BackendEntry{
         [](const RunOptions& opts) -> std::unique_ptr<Backend> {
           return std::make_unique<AutoBackend>(opts);
+        },
+        nullptr};
+    r["dist"] = BackendEntry{
+        [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          return std::make_unique<DistBackend>(opts);
         },
         nullptr};
     return r;
@@ -160,8 +283,9 @@ std::unique_ptr<sim::Simulator> make_gate_simulator(const std::string& name) {
   if (it == registry().end()) throw_unknown("make_simulator", name);
   if (!it->second.make_sim)
     throw std::invalid_argument("make_simulator: backend '" + name +
-                                "' emulates high-level ops and is not a plain "
-                                "sim::Simulator; run it via engine::Engine");
+                                "' is not a plain sim::Simulator (it emulates "
+                                "high-level ops or runs distributed); run it via "
+                                "engine::Engine");
   return it->second.make_sim();
 }
 

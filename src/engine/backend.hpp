@@ -1,11 +1,13 @@
 // Backend registry — one namespace for every way this library can
 // execute a Program.
 //
-// A Backend executes the *unitary* ops of a Program (Measure /
-// ExpectationZ are engine-handled, backend-independently). Two families:
+// A Backend executes the *unitary* ops of a Program; Measure /
+// ExpectationZ ops are routed through the measurement virtuals below
+// with an engine-supplied uniform draw, so the recorded streams stay
+// backend-independent for one seed. Two families:
 //
 //  * gate-level backends ("hpc", "fused", "cached", "qhipster-like",
-//    "liquid-like") wrap a sim::Simulator and only ever see gate
+//    "liquid-like", and the distributed "dist") only ever see gate
 //    segments — Engine::run lowers high-level ops first;
 //  * emulating backends ("auto") report emulates() == true and execute
 //    high-level ops at their mathematical description (emu::Emulator),
@@ -25,6 +27,7 @@
 #include "engine/program.hpp"
 #include "fuse/fusion.hpp"
 #include "sched/schedule.hpp"
+#include "sim/dist_sv.hpp"
 #include "sim/simulator.hpp"
 
 namespace qc::engine {
@@ -50,6 +53,18 @@ struct RunOptions {
   bool collapse_measurements = true;
   /// Lowering options used when the backend is gate-level.
   LowerOptions lower;
+  /// Rank count for the "dist" backend — a power of two; the in-process
+  /// cluster spawns this many rank threads (clamped so every rank holds
+  /// at least one amplitude of the run's register).
+  int dist_ranks = 2;
+  /// Communication policy for the "dist" backend's per-gate fallbacks
+  /// (Specialized skips exchanges for diagonal global targets and
+  /// unsatisfied global controls; Exchange is the qHiPSTER-like
+  /// every-global-gate exchange).
+  sim::CommPolicy dist_policy = sim::CommPolicy::Specialized;
+  /// Allow the "dist" backend's cost-gated global<->local qubit
+  /// exchange passes (off: every global-qubit gate runs per-gate).
+  bool dist_remap = true;
 };
 
 class Backend {
@@ -68,6 +83,19 @@ class Backend {
   /// Executes a high-level unitary op. Default throws std::logic_error —
   /// gate-level backends never see one.
   virtual void run_highlevel(sim::StateVector& sv, const Op& op);
+
+  /// Samples a measurement outcome of register `r` using the
+  /// engine-supplied uniform draw `u` (exactly one per Measure op, so
+  /// the recorded stream is identical across backends for one seed),
+  /// optionally collapsing the register. Default: one distribution pass
+  /// plus the shared zero-probability-safe inverse-CDF sampler.
+  /// Backends with their own state layout ("dist") override with a
+  /// collective implementation.
+  virtual index_t measure_register(sim::StateVector& sv, RegRef r, double u, bool collapse);
+
+  /// <Z_mask> of the current state. Default: serial one-pass reduction;
+  /// "dist" overrides with the collective reduction.
+  virtual double expectation_z(sim::StateVector& sv, index_t mask);
 };
 
 using BackendFactory = std::function<std::unique_ptr<Backend>(const RunOptions&)>;

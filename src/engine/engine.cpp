@@ -5,41 +5,8 @@
 #include <stdexcept>
 
 #include "common/timer.hpp"
-#include "emu/observables.hpp"
 
 namespace qc::engine {
-
-namespace {
-
-/// Samples a full-register outcome from the exact distribution (§3.4 —
-/// one distribution pass, one uniform draw) and optionally collapses the
-/// register to it.
-index_t measure_register(sim::StateVector& sv, RegRef r, Rng& rng, bool collapse) {
-  const std::vector<double> dist = sv.register_distribution(r.offset, r.width);
-  double u = rng.uniform();
-  index_t outcome = 0;
-  bool found = false;
-  for (index_t v = 0; v < dist.size(); ++v) {
-    u -= dist[v];
-    if (u <= 0 && dist[v] > 0) {  // never pick a zero-probability outcome
-      outcome = v;
-      found = true;
-      break;
-    }
-  }
-  if (!found)  // fp leftover past the sum: last outcome with support
-    for (index_t v = static_cast<index_t>(dist.size()); v-- > 0;)
-      if (dist[v] > 0) {
-        outcome = v;
-        break;
-      }
-  if (collapse)
-    for (qubit_t j = 0; j < r.width; ++j)
-      sv.collapse(r.offset + j, bits::test(outcome, j) ? 1 : 0);
-  return outcome;
-}
-
-}  // namespace
 
 Result Engine::run(const Program& p, const RunOptions& opts) const {
   const std::unique_ptr<Backend> backend = make_backend(opts.backend, opts);
@@ -66,11 +33,15 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
     WallTimer t;
     switch (op.kind) {
       case OpKind::Measure:
-        res.measurements.push_back(
-            measure_register(sv, op.a, rng, opts.collapse_measurements));
+        // The engine draws the uniform (one per Measure op, in program
+        // order) so the recorded stream is seed-deterministic on every
+        // backend; the backend maps it to an outcome (§3.4 — the "dist"
+        // backend does so collectively against the distributed state).
+        res.measurements.push_back(backend->measure_register(
+            sv, op.a, rng.uniform(), opts.collapse_measurements));
         break;
       case OpKind::ExpectationZ:
-        res.expectations.push_back(emu::expectation_z_string(sv, op.mask));
+        res.expectations.push_back(backend->expectation_z(sv, op.mask));
         break;
       case OpKind::GateSegment:
         backend->run_gates(sv, op.gates);

@@ -12,8 +12,10 @@
 //   * gate-level backend   — the program is lower()ed to elementary
 //     gates first (work ancillas appended above the program register and
 //     projected away again at the end).
-// Measure and ExpectationZ ops are engine-handled on every backend, so
-// the recorded outcomes are backend-independent given one seed.
+// Measure and ExpectationZ ops route through the backend's measurement
+// virtuals with an engine-drawn uniform (one per Measure op), so the
+// recorded outcomes are backend-independent given one seed — the "dist"
+// backend measures collectively against its distributed state.
 #pragma once
 
 #include "engine/backend.hpp"

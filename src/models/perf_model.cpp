@@ -103,4 +103,13 @@ bool remap_profitable(std::size_t ops_made_local, double remap_passes) {
   return static_cast<double>(ops_made_local) - 1.0 > remap_passes;
 }
 
+double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m) {
+  const double chunk = std::ldexp(1.0, static_cast<int>(local_qubits));
+  return 16.0 * chunk / (m.b_net_gbs * 1e9);
+}
+
+bool global_remap_profitable(std::size_t exchanges_avoided, double remap_exchange_cost) {
+  return static_cast<double>(exchanges_avoided) > remap_exchange_cost;
+}
+
 }  // namespace qc::models

@@ -117,4 +117,28 @@ double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineP
 /// (ops_made_local - 1) strictly exceed the remap passes.
 bool remap_profitable(std::size_t ops_made_local, double remap_passes = 2.0);
 
+// --- Eq. 6 communication term (distributed scheduler, sched/dist) ------
+//
+// Eq. 6 charges every gate on a distributed ("global") qubit one
+// pairwise exchange of the rank's whole local chunk: 16 bytes per local
+// amplitude across the network, the 16N/B_net term. A global<->local
+// qubit exchange pass (one all-to-all chunk permutation) moves the same
+// ~16 bytes per amplitude ONCE and then lets an entire run of
+// global-qubit gates execute rank-locally — the cluster-level analogue
+// of the cache scheduler's remap, with chunk exchanges instead of
+// memory passes as the unit cost.
+
+/// Seconds for one pairwise exchange of a rank's full 2^local_qubits
+/// chunk (the 16N/B_net term of Eq. 6, N = the chunk's amplitudes).
+double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m);
+
+/// Global-remap decision rule, mirroring remap_profitable at cluster
+/// level: an exchange pass costs ~`remap_exchange_cost` chunk exchanges
+/// (the all-to-all now plus its share of the eventual restore) and saves
+/// one per-gate exchange for each of `exchanges_avoided` upcoming
+/// global-qubit gates it relocates into the local block. Profitable when
+/// the saving strictly exceeds the cost.
+bool global_remap_profitable(std::size_t exchanges_avoided,
+                             double remap_exchange_cost = 2.0);
+
 }  // namespace qc::models

@@ -79,9 +79,9 @@ BlockedPlan CachedSimulator::plan(const circuit::Circuit& c) const {
   return schedule(fuse::fuse_circuit(c, fusion), opts_.sched);
 }
 
-void CachedSimulator::execute(sim::StateVector& sv, const BlockedPlan& plan) const {
-  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
-  const auto a = sv.amplitudes();
+void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
+  if (a.size() != dim(plan.n))
+    throw std::invalid_argument("execute_blocked: amplitude count mismatch");
   for (const PlanItem& item : plan.items) {
     switch (item.kind) {
       case PlanItem::Kind::Sweep:
@@ -98,12 +98,17 @@ void CachedSimulator::execute(sim::StateVector& sv, const BlockedPlan& plan) con
         } else if (op.kind == ChunkOp::Kind::Diagonal) {
           sim::kernels::apply_multi_diagonal(a, plan.n, op.qubits, op.diag);
         } else {
-          hpc_.apply_gate(sv, op.gate);
+          sim::apply_gate_hpc(a, plan.n, op.gate);
         }
         break;
       }
     }
   }
+}
+
+void CachedSimulator::execute(sim::StateVector& sv, const BlockedPlan& plan) const {
+  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
+  execute_blocked(sv.amplitudes(), plan);
 }
 
 void CachedSimulator::run(sim::StateVector& sv, const circuit::Circuit& c) const {

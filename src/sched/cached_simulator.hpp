@@ -27,6 +27,12 @@
 
 namespace qc::sched {
 
+/// Executes a blocked plan on a raw amplitude array of 2^plan.n
+/// amplitudes. This is the executor CachedSimulator::execute wraps and
+/// the rank-local entry point of the distributed executor (each rank
+/// runs its chunk's plan on dist_sv's local window).
+void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan);
+
 class CachedSimulator final : public sim::Simulator {
  public:
   struct Options {

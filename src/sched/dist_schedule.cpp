@@ -1,0 +1,268 @@
+#include "sched/dist_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "models/perf_model.hpp"
+#include "sched/cached_simulator.hpp"
+
+namespace qc::sched {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+Gate relabel(const Gate& g, const std::vector<qubit_t>& perm) {
+  Gate out = g;
+  for (qubit_t& t : out.targets) t = perm[t];
+  for (qubit_t& c : out.controls) c = perm[c];
+  return out;
+}
+
+index_t gate_support(const Gate& g) {
+  index_t m = 0;
+  for (qubit_t t : g.targets) m = bits::set(m, t);
+  for (qubit_t c : g.controls) m = bits::set(m, c);
+  return m;
+}
+
+/// Chunk exchanges this gate pays when executed per-gate under `policy`
+/// with the given logical->physical permutation — the Eq. 6 unit the
+/// exchange pass is traded against. SWAP lowers to three CNOTs inside
+/// DistStateVector::apply_gate, each charged by its own (X) target.
+std::size_t exchanges_for(const Gate& g, const std::vector<qubit_t>& perm, qubit_t nl,
+                          sim::CommPolicy policy) {
+  if (g.kind == GateKind::Swap) {
+    const bool ga = perm[g.targets[0]] >= nl;
+    const bool gb = perm[g.targets[1]] >= nl;
+    return 2 * static_cast<std::size_t>(gb) + static_cast<std::size_t>(ga);
+  }
+  if (perm[g.targets[0]] < nl) return 0;
+  if (policy == sim::CommPolicy::Specialized && g.diagonal()) return 0;
+  return 1;
+}
+
+}  // namespace
+
+std::size_t DistPlan::locals() const {
+  std::size_t total = 0;
+  for (const DistPlanItem& it : items) total += it.kind == DistPlanItem::Kind::Local;
+  return total;
+}
+
+std::size_t DistPlan::exchanges() const {
+  std::size_t total = 0;
+  for (const DistPlanItem& it : items) total += it.kind == DistPlanItem::Kind::Exchange;
+  return total;
+}
+
+std::size_t DistPlan::globals() const {
+  std::size_t total = 0;
+  for (const DistPlanItem& it : items) total += it.kind == DistPlanItem::Kind::Gate;
+  return total;
+}
+
+std::size_t DistPlan::local_gates() const {
+  std::size_t total = 0;
+  for (const DistPlanItem& it : items)
+    if (it.kind == DistPlanItem::Kind::Local) total += it.local.source_ops;
+  return total;
+}
+
+std::string DistPlan::to_string() const {
+  std::ostringstream out;
+  out << "dist plan on " << n << " qubits (" << local_qubits << " local): " << source_gates
+      << " gates -> " << locals() << " local segments, " << exchanges() << " exchanges, "
+      << globals() << " per-gate globals\n";
+  for (const DistPlanItem& it : items) {
+    switch (it.kind) {
+      case DistPlanItem::Kind::Local:
+        out << "  local x" << it.local.source_ops << " fused ops (" << it.local.passes()
+            << " chunk passes)\n";
+        break;
+      case DistPlanItem::Kind::Exchange:
+        out << "  exchange";
+        for (const auto& s : it.swaps) out << " " << s[0] << "<->" << s[1];
+        out << "\n";
+        break;
+      case DistPlanItem::Kind::Gate:
+        out << "  gate " << it.gate.to_string() << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
+                       const DistScheduleOptions& opts) {
+  const qubit_t n = c.qubits();
+  const qubit_t nl = local_qubits;
+  if (nl == 0 || nl > n)
+    throw std::invalid_argument("dist_schedule: local qubits must be in [1, n]");
+  DistPlan plan;
+  plan.n = n;
+  plan.local_qubits = nl;
+  plan.source_gates = c.size();
+  const auto& gates = c.gates();
+
+  std::vector<index_t> masks(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i) masks[i] = gate_support(gates[i]);
+
+  // perm: logical qubit -> physical position; inv: its inverse.
+  std::vector<qubit_t> perm(n), inv(n);
+  std::iota(perm.begin(), perm.end(), qubit_t{0});
+  std::iota(inv.begin(), inv.end(), qubit_t{0});
+  const auto commit_swaps = [&](const std::vector<std::array<qubit_t, 2>>& swaps) {
+    for (const auto& s : swaps) {
+      const qubit_t qa = inv[s[0]], qb = inv[s[1]];
+      std::swap(perm[qa], perm[qb]);
+      std::swap(inv[s[0]], inv[s[1]]);
+    }
+  };
+  const auto all_local = [&](index_t mask, const std::vector<qubit_t>& p) {
+    for (qubit_t q = 0; mask >> q; ++q)
+      if (bits::test(mask, q) && p[q] >= nl) return false;
+    return true;
+  };
+
+  // Rank-local gate run, accumulated until a global gate interrupts it,
+  // then pushed through the regular fusion + cache-blocking pipeline.
+  Circuit segment(nl);
+  const auto flush = [&] {
+    if (segment.empty()) return;
+    fuse::FusionOptions fusion = opts.fusion;
+    fusion.max_width = std::min(fusion.max_width, opts.sched.max_block_width);
+    DistPlanItem item;
+    item.kind = DistPlanItem::Kind::Local;
+    item.local = schedule(fuse::fuse_circuit(segment, fusion), opts.sched);
+    plan.items.push_back(std::move(item));
+    segment = Circuit(nl);
+  };
+
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (all_local(masks[i], perm)) {
+      segment.append(relabel(g, perm));
+      continue;
+    }
+    bool exchanged = false;
+    if (opts.remap) {
+      const std::size_t window_end = std::min(gates.size(), i + opts.lookahead);
+      constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+      std::vector<std::size_t> next_use(n, kNever);
+      for (std::size_t j = i; j < window_end; ++j) {
+        for (qubit_t q = 0; masks[j] >> q; ++q)
+          if (bits::test(masks[j], q) && next_use[q] == kNever) next_use[q] = j;
+      }
+      // Candidate imports: this gate's global qubits (mandatory), then
+      // the window's remaining global working set, soonest-used first.
+      std::vector<qubit_t> imports;
+      for (qubit_t q = 0; masks[i] >> q; ++q)
+        if (bits::test(masks[i], q) && perm[q] >= nl) imports.push_back(q);
+      const std::size_t mandatory = imports.size();
+      for (qubit_t q = 0; q < n; ++q)
+        if (perm[q] >= nl && next_use[q] != kNever && !bits::test(masks[i], q))
+          imports.push_back(q);
+      std::stable_sort(imports.begin() + static_cast<std::ptrdiff_t>(mandatory),
+                       imports.end(),
+                       [&](qubit_t x, qubit_t y) { return next_use[x] < next_use[y]; });
+      // Farthest-next-use victims from the local block.
+      std::vector<qubit_t> victims;
+      for (qubit_t p = 0; p < nl; ++p)
+        if (!bits::test(masks[i], inv[p])) victims.push_back(p);
+      std::stable_sort(victims.begin(), victims.end(), [&](qubit_t x, qubit_t y) {
+        return next_use[inv[x]] > next_use[inv[y]];
+      });
+      std::vector<std::array<qubit_t, 2>> swaps;
+      std::size_t v = 0;
+      for (std::size_t s = 0; s < imports.size() && v < victims.size(); ++s) {
+        const qubit_t victim = victims[v];
+        if (s >= mandatory && next_use[imports[s]] >= next_use[inv[victim]]) break;
+        swaps.push_back({perm[imports[s]], victim});
+        ++v;
+      }
+      if (swaps.size() >= mandatory && !swaps.empty()) {
+        std::vector<qubit_t> trial = perm;
+        for (const auto& s : swaps) {
+          const qubit_t qa = inv[s[0]], qb = inv[s[1]];
+          std::swap(trial[qa], trial[qb]);
+        }
+        // Score in Eq. 6 units: per-gate chunk exchanges the pass avoids
+        // over the window, net of exchanges the evictions introduce.
+        std::ptrdiff_t saved = 0;
+        for (std::size_t j = i; j < window_end; ++j)
+          saved += static_cast<std::ptrdiff_t>(exchanges_for(gates[j], perm, nl, opts.policy)) -
+                   static_cast<std::ptrdiff_t>(exchanges_for(gates[j], trial, nl, opts.policy));
+        if (all_local(masks[i], trial) && saved > 0 &&
+            models::global_remap_profitable(static_cast<std::size_t>(saved),
+                                            opts.exchange_pass_cost)) {
+          flush();
+          DistPlanItem item;
+          item.kind = DistPlanItem::Kind::Exchange;
+          item.swaps = swaps;
+          plan.items.push_back(std::move(item));
+          commit_swaps(swaps);
+          segment.append(relabel(g, perm));
+          exchanged = true;
+        }
+      }
+    }
+    if (!exchanged) {
+      // Per-gate fallback: apply_gate handles global targets/controls
+      // (diagonal targets and unsatisfied controls stay comm-free under
+      // the Specialized policy).
+      flush();
+      DistPlanItem item;
+      item.kind = DistPlanItem::Kind::Gate;
+      item.gate = relabel(g, perm);
+      plan.items.push_back(std::move(item));
+    }
+  }
+  flush();
+
+  // Undo all exchanges so the state leaves in logical qubit order; each
+  // round is one disjoint transposition set (one chunk permutation).
+  while (true) {
+    std::vector<std::array<qubit_t, 2>> swaps;
+    index_t used = 0;
+    for (qubit_t p = 0; p < n; ++p) {
+      const qubit_t home = inv[p];
+      if (home == p || bits::test(used, p) || bits::test(used, home)) continue;
+      swaps.push_back({p, home});
+      used = bits::set(bits::set(used, p), home);
+    }
+    if (swaps.empty()) break;
+    DistPlanItem item;
+    item.kind = DistPlanItem::Kind::Exchange;
+    item.swaps = swaps;
+    plan.items.push_back(std::move(item));
+    commit_swaps(swaps);
+  }
+  return plan;
+}
+
+void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
+                   sim::CommPolicy policy) {
+  if (dsv.qubits() != plan.n || dsv.local_qubits() != plan.local_qubits)
+    throw std::invalid_argument("run_dist_plan: qubit split mismatch");
+  for (const DistPlanItem& item : plan.items) {
+    switch (item.kind) {
+      case DistPlanItem::Kind::Local:
+        execute_blocked(dsv.local(), item.local);
+        break;
+      case DistPlanItem::Kind::Exchange:
+        dsv.apply_qubit_swaps(item.swaps);
+        break;
+      case DistPlanItem::Kind::Gate:
+        dsv.apply_gate(item.gate, policy);
+        break;
+    }
+  }
+}
+
+}  // namespace qc::sched

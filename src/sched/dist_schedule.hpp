@@ -1,0 +1,105 @@
+// Distributed execution planning — the PR 3 sweep machinery lifted to
+// the cluster level (paper Eq. 6, qHiPSTER's local/global qubit split).
+//
+// A DistStateVector splits n qubits into nl local qubits (each rank's
+// 2^nl-amplitude chunk) and n - nl global qubits (the rank bits). Gates
+// on local qubits never communicate; a gate targeting a global qubit
+// normally pays one pairwise exchange of the whole chunk — the
+// 16N/B_net term of Eq. 6, per gate. dist_schedule() plans around that
+// cost the same way the cache scheduler plans around DRAM passes:
+//
+//  * maximal runs of gates whose (remapped) support lies below nl
+//    become Local items — an nl-qubit sub-circuit pushed through the
+//    regular fusion + cache-blocked sweep pipeline, so every rank
+//    executes fused blocks and cache-resident sweeps on its own chunk
+//    with zero communication;
+//  * when a run of global-qubit gates is coming up, a cost-gated
+//    Exchange item (DistStateVector::apply_qubit_swaps — ONE chunk
+//    permutation) relocates those qubits into the local block,
+//    amortizing a single exchange across the whole run instead of
+//    paying one exchange per gate (models::global_remap_profitable);
+//  * gates that stay global run as Gate items through
+//    DistStateVector::apply_gate — which still skips communication
+//    entirely for diagonal targets and unsatisfied global controls
+//    under CommPolicy::Specialized.
+//
+// Every exchange is undone by plan end: the state leaves in logical
+// qubit order, exactly like the cache scheduler's restore pass.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sim/dist_sv.hpp"
+
+namespace qc::sched {
+
+struct DistScheduleOptions {
+  /// Fusion options for the rank-local segments.
+  fuse::FusionOptions fusion;
+  /// Cache-blocking options for the rank-local segments (chunk width is
+  /// chosen against the nl-qubit local space; a small chunk's floor
+  /// means tiny ranks run their whole chunk as one sweep chunk).
+  ScheduleOptions sched;
+  /// Allow global<->local exchange passes (off: every global-qubit gate
+  /// falls back to per-gate handling).
+  bool remap = true;
+  /// Gates examined when scoring a candidate exchange's payoff.
+  std::size_t lookahead = 64;
+  /// Chunk exchanges charged to one exchange pass in the cost model
+  /// (the all-to-all now plus its share of the final restore).
+  double exchange_pass_cost = 2.0;
+  /// Policy the plan will run under — determines which global-qubit
+  /// gates actually pay an exchange (Specialized: only non-diagonal
+  /// targets; Exchange: every global target).
+  sim::CommPolicy policy = sim::CommPolicy::Specialized;
+};
+
+/// One element of the distributed plan, in execution order. Qubit labels
+/// in `local` plans and `gate` are *physical* positions under the
+/// exchanges committed so far.
+struct DistPlanItem {
+  enum class Kind {
+    Local,     ///< Rank-local fused + cache-blocked plan on the chunk.
+    Exchange,  ///< Global<->local qubit exchange (one chunk permutation).
+    Gate,      ///< Per-gate fallback (DistStateVector::apply_gate).
+  };
+  Kind kind = Kind::Local;
+  BlockedPlan local;                          ///< Local payload (n = nl).
+  std::vector<std::array<qubit_t, 2>> swaps;  ///< Exchange payload.
+  circuit::Gate gate;                         ///< Gate payload.
+};
+
+/// The distributed program plus bookkeeping for benches and tests.
+struct DistPlan {
+  qubit_t n = 0;            ///< Total qubits.
+  qubit_t local_qubits = 0; ///< nl: qubits below the rank boundary.
+  std::vector<DistPlanItem> items;
+  std::size_t source_gates = 0;
+
+  [[nodiscard]] std::size_t locals() const;
+  [[nodiscard]] std::size_t exchanges() const;
+  [[nodiscard]] std::size_t globals() const;
+  /// Source gates captured into Local items (rank-local, comm-free).
+  [[nodiscard]] std::size_t local_gates() const;
+
+  /// Human-readable plan summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the distributed plan for `c` over an nl-qubit local block.
+/// The plan applies the exact same unitary (to rounding) and restores
+/// logical qubit order by plan end.
+[[nodiscard]] DistPlan dist_schedule(const circuit::Circuit& c, qubit_t local_qubits,
+                                     const DistScheduleOptions& opts = {});
+
+/// Collective: executes a plan on a distributed state (dsv's qubit
+/// split must match the plan's). Local items run execute_blocked on the
+/// rank's chunk; Exchange items run the one-pass chunk permutation;
+/// Gate items fall back to per-gate policy handling.
+void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
+                   sim::CommPolicy policy = sim::CommPolicy::Specialized);
+
+}  // namespace qc::sched

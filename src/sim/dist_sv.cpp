@@ -1,8 +1,10 @@
 #include "sim/dist_sv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
 
 namespace qc::sim {
@@ -176,6 +178,187 @@ void DistStateVector::apply_gate(const Gate& g, CommPolicy policy) {
 void DistStateVector::run(const circuit::Circuit& c, CommPolicy policy) {
   if (c.qubits() != n_) throw std::invalid_argument("run: qubit count mismatch");
   for (const Gate& g : c.gates()) apply_gate(g, policy);
+}
+
+void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> pairs) {
+  // Split the disjoint transposition set into the class each level can
+  // handle: local-local pairs permute the chunk in place, everything
+  // touching a global qubit joins one collective chunk permutation.
+  index_t seen = 0;
+  std::vector<std::array<qubit_t, 2>> local_pairs;
+  std::vector<std::array<qubit_t, 2>> cross;  // {global, local}, sorted by local
+  std::vector<std::array<qubit_t, 2>> global_pairs;
+  for (const auto& p : pairs) {
+    const qubit_t hi = std::max(p[0], p[1]);
+    const qubit_t lo = std::min(p[0], p[1]);
+    if (hi >= n_ || hi == lo || bits::test(seen, hi) || bits::test(seen, lo))
+      throw std::invalid_argument("apply_qubit_swaps: pairs must be disjoint qubits below n");
+    seen = bits::set(bits::set(seen, hi), lo);
+    if (hi < nl_) {
+      local_pairs.push_back({lo, hi});
+    } else if (lo < nl_) {
+      cross.push_back({hi, lo});
+    } else {
+      global_pairs.push_back({lo, hi});
+    }
+  }
+  // Disjoint transpositions commute, so the local part can run first.
+  if (!local_pairs.empty()) kernels::apply_qubit_swaps(local(), nl_, local_pairs);
+  if (cross.empty() && global_pairs.empty()) return;
+
+  std::sort(cross.begin(), cross.end(),
+            [](const auto& a, const auto& b) { return a[1] < b[1]; });
+  const auto k = static_cast<qubit_t>(cross.size());
+  if (k > 16) throw std::invalid_argument("apply_qubit_swaps: too many crossing pairs");
+  std::vector<qubit_t> low_pos(k);
+  for (qubit_t j = 0; j < k; ++j) low_pos[j] = cross[j][1];
+
+  const int rank = comm_->rank();
+  // Rank with this rank's global-global bits swapped — every sub-block's
+  // destination shares this base.
+  int gg_rank = rank;
+  for (const auto& p : global_pairs) {
+    const qubit_t ba = p[0] - nl_, bb = p[1] - nl_;
+    if (bits::get(static_cast<index_t>(gg_rank), ba) !=
+        bits::get(static_cast<index_t>(gg_rank), bb))
+      gg_rank ^= (1 << ba) | (1 << bb);
+  }
+  const index_t sub = dim(nl_) >> k;  // amplitudes per sub-block
+  const index_t blocks = dim(k);
+  const kernels::BitExpander expand{low_pos};
+  const auto deposit = [&](index_t key) {
+    index_t d = 0;
+    for (qubit_t j = 0; j < k; ++j)
+      if (bits::test(key, j)) d = bits::set(d, low_pos[j]);
+    return d;
+  };
+  const auto partner = [&](index_t key) {
+    auto r = static_cast<index_t>(gg_rank);
+    for (qubit_t j = 0; j < k; ++j) {
+      const qubit_t bit = cross[j][0] - nl_;
+      r = bits::test(key, j) ? bits::set(r, bit) : bits::clear(r, bit);
+    }
+    return static_cast<int>(r);
+  };
+
+  // Gather sub-block `key` (elements whose exchanged local bits equal
+  // key, ordered by the remaining bits) into scratch slot `key`.
+  for (index_t key = 0; key < blocks; ++key) {
+    complex_t* out = scratch_.data() + key * sub;
+    const index_t base = deposit(key);
+#pragma omp parallel for schedule(static) if (worth_parallelizing(sub))
+    for (index_t j = 0; j < sub; ++j) out[j] = local_[expand(j) | base];
+  }
+  // Eager sends are buffered, so posting every send before any receive
+  // cannot deadlock. Sub-block `key` goes to the rank whose exchanged
+  // global bits equal key; the block arriving from that same rank is the
+  // one keyed by OUR old global bits and scatters into slot `key`.
+  for (index_t key = 0; key < blocks; ++key) {
+    const int dst = partner(key);
+    if (dst == rank) continue;
+    comm_->send<complex_t>(dst, {scratch_.data() + key * sub, sub});
+    bytes_comm_ += sub * sizeof(complex_t);
+  }
+  for (index_t key = 0; key < blocks; ++key) {
+    const int src = partner(key);
+    if (src == rank) continue;
+    comm_->recv<complex_t>(src, {scratch_.data() + key * sub, sub});
+  }
+  // Scatter: incoming slot `key` lands where the exchanged local bits
+  // equal key (the self slot is the identity and scatters back as-is).
+  for (index_t key = 0; key < blocks; ++key) {
+    const complex_t* in = scratch_.data() + key * sub;
+    const index_t base = deposit(key);
+#pragma omp parallel for schedule(static) if (worth_parallelizing(sub))
+    for (index_t j = 0; j < sub; ++j) local_[expand(j) | base] = in[j];
+  }
+}
+
+std::vector<double> DistStateVector::register_distribution(qubit_t offset,
+                                                           qubit_t width) const {
+  if (offset + width > n_)
+    throw std::invalid_argument("register_distribution: bad register");
+  std::vector<double> dist(dim(width), 0.0);
+  const index_t base = static_cast<index_t>(comm_->rank()) << nl_;
+  for (index_t i = 0; i < local_.size(); ++i)
+    dist[bits::field(base | i, offset, width)] += std::norm(local_[i]);
+  // Elementwise allreduce: gather every rank's partial histogram, sum.
+  std::vector<double> all(dist.size() * static_cast<std::size_t>(comm_->size()));
+  comm_->allgather<double>(dist, all);
+  std::fill(dist.begin(), dist.end(), 0.0);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(comm_->size()); ++r)
+    for (std::size_t v = 0; v < dist.size(); ++v) dist[v] += all[r * dist.size() + v];
+  return dist;
+}
+
+index_t DistStateVector::sample(Rng& rng) const {
+  // Two-level inverse CDF: pick the owning rank from the rank totals,
+  // then the outcome inside that rank's chunk via the shared sampler
+  // (which never returns a zero-probability outcome). Every rank draws
+  // the same u from its identically-seeded rng, so every rank computes
+  // the same owner and learns the same outcome via broadcast.
+  const SampleCdf local_cdf = SampleCdf::from_amplitudes(local());
+  const double my_total = local_cdf.total();
+  const int p = comm_->size();
+  std::vector<double> totals(static_cast<std::size_t>(p));
+  comm_->allgather<double>(std::span<const double>(&my_total, 1), totals);
+  double grand = 0;
+  for (const double t : totals) grand += t;
+  if (grand <= 0) throw std::runtime_error("sample: distribution has no support");
+  const double u = rng.uniform() * grand;
+
+  int owner = -1;
+  double before = 0;
+  for (int r = 0; r < p; ++r) {
+    const double t = totals[static_cast<std::size_t>(r)];
+    if (t > 0 && u < before + t) {
+      owner = r;
+      break;
+    }
+    before += t;
+  }
+  if (owner < 0) {
+    // Floating-point leftover past the sum: last rank with support.
+    before = grand;
+    for (int r = p; r-- > 0;) {
+      const double t = totals[static_cast<std::size_t>(r)];
+      before -= t;
+      if (t > 0) {
+        owner = r;
+        break;
+      }
+    }
+  }
+  index_t outcome = 0;
+  if (comm_->rank() == owner)
+    outcome = (static_cast<index_t>(owner) << nl_) | local_cdf.sample_scaled(u - before);
+  comm_->broadcast<index_t>(owner, std::span<index_t>(&outcome, 1));
+  return outcome;
+}
+
+void DistStateVector::collapse(qubit_t q, int outcome) {
+  if (q >= n_) throw std::invalid_argument("collapse: bad qubit");
+  const double p1 = probability_of_one(q);  // collective: identical on all ranks
+  const double p = outcome == 1 ? p1 : 1.0 - p1;
+  if (p < 1e-300) throw std::runtime_error("collapse: zero-probability outcome");
+  const double f = 1.0 / std::sqrt(p);
+  const bool keep_one = outcome == 1;
+  if (q < nl_) {
+#pragma omp parallel for if (worth_parallelizing(local_.size()))
+    for (index_t i = 0; i < local_.size(); ++i) {
+      if (bits::test(i, q) == keep_one) {
+        local_[i] *= f;
+      } else {
+        local_[i] = 0.0;
+      }
+    }
+    return;
+  }
+  // Global qubit: the whole chunk shares the bit value — scale or zero.
+  const bool mine_one = bits::test(static_cast<index_t>(comm_->rank()), q - nl_);
+  const complex_t factor = mine_one == keep_one ? complex_t{f} : complex_t{};
+#pragma omp parallel for if (worth_parallelizing(local_.size()))
+  for (index_t i = 0; i < local_.size(); ++i) local_[i] *= factor;
 }
 
 StateVector DistStateVector::gather_all() const {

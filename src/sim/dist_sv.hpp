@@ -11,7 +11,9 @@
 // credits for Fig. 4's growing lead over qHiPSTER.
 #pragma once
 
+#include <array>
 #include <span>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "cluster/cluster.hpp"
@@ -42,7 +44,7 @@ class DistStateVector {
   [[nodiscard]] std::span<const complex_t> local() const noexcept {
     return {local_.data(), local_.size()};
   }
-  [[nodiscard]] cluster::Comm& comm() noexcept { return *comm_; }
+  [[nodiscard]] cluster::Comm& comm() const noexcept { return *comm_; }
 
   /// Collective: resets to basis state |i> (global index).
   void set_basis(index_t i);
@@ -61,6 +63,37 @@ class DistStateVector {
 
   /// Collective: applies a circuit gate by gate.
   void run(const circuit::Circuit& c, CommPolicy policy);
+
+  /// Collective: applies a set of disjoint qubit transpositions in one
+  /// pass — the cluster-level analogue of kernels::apply_qubit_swaps.
+  /// Pairs with both qubits local permute each chunk in place with zero
+  /// communication; pairs that cross the local/global boundary (and
+  /// global-global pairs) are realized as ONE chunk permutation: the
+  /// chunk splits into 2^k sub-blocks keyed by the k exchanged local
+  /// bits, and each sub-block moves to the rank whose exchanged rank
+  /// bits equal its key (~16 bytes/amplitude over the wire, the Eq. 6
+  /// exchange term paid once for the whole swap set). This is the
+  /// global<->local exchange pass the distributed scheduler amortizes
+  /// across a sweep of global-qubit gates.
+  void apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> pairs);
+
+  // --- collective measurement surface (paper §3.4 at cluster scale) ----
+
+  /// Collective: marginal distribution of the `width`-bit register at
+  /// `offset` (which may straddle the local/global boundary). Every rank
+  /// returns the identical full 2^width vector.
+  [[nodiscard]] std::vector<double> register_distribution(qubit_t offset, qubit_t width) const;
+
+  /// Collective: samples a full-register outcome (global basis index)
+  /// from the exact distribution; does not collapse. Every rank must
+  /// pass an identically-seeded rng (exactly one uniform draw is
+  /// consumed, keeping all ranks' streams in step); every rank returns
+  /// the same outcome, which is never a zero-probability basis state.
+  [[nodiscard]] index_t sample(Rng& rng) const;
+
+  /// Collective: collapses qubit q to `outcome` (0/1) and renormalizes.
+  /// Throws if the outcome has probability ~0 (on every rank alike).
+  void collapse(qubit_t q, int outcome);
 
   /// Collective: gathers the full state on every rank (test helper;
   /// only sensible for small n).

@@ -1,0 +1,82 @@
+#include "sim/sampling.hpp"
+
+#include <algorithm>
+#include <complex>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace qc::sim {
+
+namespace {
+
+/// Parallel inclusive prefix sum: each thread scans a contiguous slab,
+/// the slab totals are exclusive-scanned serially (threads entries), and
+/// each slab is shifted by its offset. Two passes over the data, same
+/// thread-to-slab mapping in both (NUMA-friendly first touch).
+template <typename Weight>
+std::vector<double> prefix_sum(std::size_t size, const Weight& weight) {
+  std::vector<double> cum(size);
+  const int threads = max_threads();
+  if (threads <= 1 || !worth_parallelizing(size)) {
+    double acc = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      acc += weight(i);
+      cum[i] = acc;
+    }
+    return cum;
+  }
+  const std::size_t slab = (size + static_cast<std::size_t>(threads) - 1) /
+                           static_cast<std::size_t>(threads);
+  std::vector<double> slab_total(static_cast<std::size_t>(threads), 0.0);
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<std::size_t>(thread_id());
+    const std::size_t lo = std::min(t * slab, size);
+    const std::size_t hi = std::min(lo + slab, size);
+    double acc = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += weight(i);
+      cum[i] = acc;
+    }
+    slab_total[t] = acc;
+#pragma omp barrier
+    double offset = 0;
+    for (std::size_t s = 0; s < t; ++s) offset += slab_total[s];
+    if (offset != 0)
+      for (std::size_t i = lo; i < hi; ++i) cum[i] += offset;
+  }
+  return cum;
+}
+
+}  // namespace
+
+SampleCdf SampleCdf::from_weights(std::span<const double> weights) {
+  SampleCdf cdf;
+  cdf.cum_ = prefix_sum(weights.size(), [&](std::size_t i) { return weights[i]; });
+  return cdf;
+}
+
+SampleCdf SampleCdf::from_amplitudes(std::span<const complex_t> amplitudes) {
+  SampleCdf cdf;
+  cdf.cum_ = prefix_sum(amplitudes.size(),
+                        [&](std::size_t i) { return std::norm(amplitudes[i]); });
+  return cdf;
+}
+
+index_t SampleCdf::sample_scaled(double u) const {
+  // First outcome whose cumulative strictly exceeds u. upper_bound can
+  // never land on a zero-weight interior outcome: cum_[i] > u together
+  // with cum_[i-1] <= u forces cum_[i] > cum_[i-1], i.e. weight > 0.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  if (it != cum_.end()) return static_cast<index_t>(it - cum_.begin());
+  // u >= total(): floating-point leftover (e.g. u01 * total rounding up,
+  // or a caller total computed in a different summation order). Fall
+  // back to the LAST outcome with support — not blindly the last index,
+  // which may have zero probability.
+  for (std::size_t i = cum_.size(); i-- > 0;)
+    if (cum_[i] > (i > 0 ? cum_[i - 1] : 0.0)) return static_cast<index_t>(i);
+  throw std::runtime_error("SampleCdf::sample: distribution has no support");
+}
+
+}  // namespace qc::sim

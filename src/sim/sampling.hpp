@@ -1,0 +1,61 @@
+// Shared inverse-CDF measurement sampler (paper §3.4's "sample from the
+// exact distribution" step, factored out of its three divergent copies).
+//
+// Every sampling path in the library — StateVector::sample, the engine's
+// register measurement, and the shot-based estimators in emu/observables
+// — reduces to the same primitive: map a uniform draw u through the
+// cumulative distribution of nonnegative weights. The copies had drifted
+// apart (one returned the last outcome even when its weight was zero;
+// one re-scanned all 2^n amplitudes per shot), so the primitive now
+// lives here once:
+//
+//  * the prefix sum is built in parallel (slab-local scans + serial slab
+//    offset fix-up), so building the CDF is no slower than the one-pass
+//    linear scan it replaces;
+//  * each draw is a binary search — repeated-shot callers pay O(log)
+//    per shot instead of O(2^n);
+//  * a draw can never land on a zero-probability outcome: floating-point
+//    leftover past the final cumulative falls back to the LAST outcome
+//    with support (not blindly the last index).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qc::sim {
+
+class SampleCdf {
+ public:
+  /// Prefix-sum CDF over nonnegative weights (probabilities need not be
+  /// normalized; draws are scaled by total()).
+  [[nodiscard]] static SampleCdf from_weights(std::span<const double> weights);
+
+  /// CDF over |a_i|^2 — sampling a full-register outcome from a state.
+  [[nodiscard]] static SampleCdf from_amplitudes(std::span<const complex_t> amplitudes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cum_.size(); }
+
+  /// Sum of all weights (the CDF's final value).
+  [[nodiscard]] double total() const noexcept { return cum_.empty() ? 0.0 : cum_.back(); }
+
+  /// Maps u in [0, 1) to an outcome by binary search. Never returns a
+  /// zero-weight outcome; throws std::runtime_error if every weight is
+  /// zero.
+  [[nodiscard]] index_t sample(double u01) const { return sample_scaled(u01 * total()); }
+
+  /// One uniform draw from `rng`, then sample().
+  [[nodiscard]] index_t sample(Rng& rng) const { return sample(rng.uniform()); }
+
+  /// As sample(), but `u` is already scaled to [0, total()). Values at or
+  /// past total() (floating-point leftover) select the last outcome with
+  /// support.
+  [[nodiscard]] index_t sample_scaled(double u) const;
+
+ private:
+  std::vector<double> cum_;
+};
+
+}  // namespace qc::sim

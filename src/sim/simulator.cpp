@@ -61,9 +61,7 @@ void QhipsterLikeSimulator::apply_gate(StateVector& sv, const Gate& g) const {
   generic_apply(sv, g, /*parallel=*/true);
 }
 
-void HpcSimulator::apply_gate(StateVector& sv, const Gate& g) const {
-  const auto a = sv.amplitudes();
-  const qubit_t n = sv.qubits();
+void apply_gate_hpc(std::span<complex_t> a, qubit_t n, const Gate& g) {
   const index_t cmask = control_mask(g);
   if (g.kind == GateKind::Swap) {
     kernels::apply_swap(a, n, g.targets[0], g.targets[1], cmask);
@@ -80,6 +78,10 @@ void HpcSimulator::apply_gate(StateVector& sv, const Gate& g) const {
     return;
   }
   kernels::apply_folded(a, n, t, cmask, target_block(g));
+}
+
+void HpcSimulator::apply_gate(StateVector& sv, const Gate& g) const {
+  apply_gate_hpc(sv.amplitudes(), sv.qubits(), g);
 }
 
 void HpcSimulator::run(StateVector& sv, const circuit::Circuit& c) const {

@@ -38,6 +38,12 @@ namespace qc::sim {
 /// Diagonal entries (d0, d1) of a diagonal gate's target block.
 [[nodiscard]] std::pair<complex_t, complex_t> diagonal_entries(const circuit::Gate& g);
 
+/// HpcSimulator's specialized single-gate dispatch on a raw amplitude
+/// array (2^n amplitudes) — the span-level entry point executors that do
+/// not own a StateVector (blocked plans on a rank's local chunk) share
+/// with HpcSimulator::apply_gate.
+void apply_gate_hpc(std::span<complex_t> a, qubit_t n, const circuit::Gate& g);
+
 class Simulator {
  public:
   virtual ~Simulator() = default;

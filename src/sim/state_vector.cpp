@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "sim/sampling.hpp"
 
 namespace qc::sim {
 
@@ -116,15 +117,13 @@ std::vector<double> StateVector::register_distribution(qubit_t offset, qubit_t w
 }
 
 index_t StateVector::sample(Rng& rng) const {
-  // Inverse-CDF sampling over the amplitude array; O(2^n) once, which is
-  // still exponentially cheaper than re-running the circuit per shot.
-  const double u = rng.uniform() * norm_sq();
-  double acc = 0;
-  for (index_t i = 0; i < size(); ++i) {
-    acc += std::norm(data_[i]);
-    if (u < acc) return i;
-  }
-  return size() - 1;  // u == norm_sq() edge case
+  // Inverse-CDF sampling over the amplitude array through the shared
+  // sampler; O(2^n) once (parallel prefix sum), still exponentially
+  // cheaper than re-running the circuit per shot. The shared fallback
+  // also fixes the old edge case where floating-point leftover past the
+  // final cumulative returned size() - 1 even when that amplitude was
+  // zero — a zero-probability outcome.
+  return SampleCdf::from_amplitudes(amplitudes()).sample(rng);
 }
 
 int StateVector::measure_and_collapse(qubit_t q, Rng& rng) {

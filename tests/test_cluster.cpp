@@ -289,5 +289,25 @@ TEST(Cluster, ManyRanksStress) {
   });
 }
 
+TEST(Cluster, OversubscribedRanksStress) {
+  // Far more ranks than any test machine has cores: the runtime must
+  // stay correct under heavy thread contention (the CI matrix runs this
+  // suite explicitly for exactly that reason).
+  const int p = 32;
+  Cluster cluster(p, 1);
+  cluster.run([p](Comm& comm) {
+    comm.barrier();
+    EXPECT_EQ(comm.allreduce_sum(comm.rank()), p * (p - 1) / 2);
+    // Symmetric neighbor exchange around the ring.
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    int out = comm.rank(), in = -1;
+    comm.send<int>(next, std::span<const int>(&out, 1));
+    comm.recv<int>(prev, std::span<int>(&in, 1));
+    EXPECT_EQ(in, prev);
+    comm.barrier();
+  });
+}
+
 }  // namespace
 }  // namespace qc::cluster

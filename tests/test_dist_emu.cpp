@@ -5,6 +5,7 @@
 
 #include "circuit/builders.hpp"
 #include "emu/dist_emu.hpp"
+#include "emu/observables.hpp"
 #include "sim/simulator.hpp"
 
 namespace qc::emu {
@@ -187,6 +188,24 @@ TEST(DistEmulator, PermutationPreservesNorm) {
     demu.apply_permutation([mask](index_t i) { return (i * 13 + 7) & mask; });
     EXPECT_NEAR(dsv.norm_sq(), 1.0, 1e-12);
   });
+}
+
+TEST(DistObservables, ExpectationZStringMatchesSerial) {
+  const qubit_t n = 9;
+  StateVector serial(n);
+  serial.randomize_deterministic(63);
+  for (const int ranks : {1, 2, 8}) {
+    cluster::Cluster cluster(ranks, 1);
+    cluster.run([&](cluster::Comm& comm) {
+      DistStateVector dsv(comm, n);
+      dsv.randomize(63);
+      // Masks covering local-only, global-only, and straddling strings.
+      for (const index_t mask : {index_t{0b1}, index_t{0b110000000}, index_t{0b101010101}})
+        EXPECT_NEAR(expectation_z_string(dsv, mask),
+                    expectation_z_string(serial, mask), 1e-12)
+            << "ranks=" << ranks << " mask=" << mask;
+    });
+  }
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Tests for the distributed scheduler/executor: agreement with the
+// serial simulator across rank counts (including ranks so large a
+// chunk is a single sweep chunk), the communication-volume win of the
+// amortized global<->local exchange pass over per-gate exchanges
+// (paper Eq. 6 / Fig. 4), and plan-structure sanity.
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "models/perf_model.hpp"
+#include "sched/dist_schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace qc::sched {
+namespace {
+
+using circuit::Circuit;
+using sim::CommPolicy;
+using sim::DistStateVector;
+using sim::StateVector;
+
+/// Runs `c` through dist_schedule + run_dist_plan on `ranks` ranks
+/// (random init, fixed seed) and compares against the serial
+/// HpcSimulator; returns the max amplitude difference.
+double plan_vs_serial(const Circuit& c, qubit_t n, int ranks, std::uint64_t seed,
+                      const DistScheduleOptions& opts = {},
+                      CommPolicy policy = CommPolicy::Specialized) {
+  StateVector serial(n);
+  serial.randomize_deterministic(seed);
+  sim::HpcSimulator().run(serial, c);
+
+  const auto nl = static_cast<qubit_t>(n - bits::log2_floor(static_cast<index_t>(ranks)));
+  const DistPlan plan = dist_schedule(c, nl, opts);
+  double diff = -1;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(seed);
+    run_dist_plan(dsv, plan, policy);
+    const StateVector gathered = dsv.gather_all();
+    if (comm.rank() == 0) diff = gathered.max_abs_diff(serial);
+  });
+  return diff;
+}
+
+struct Case {
+  qubit_t n;
+  int ranks;
+};
+
+class DistPlanRandomCircuit : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistPlanRandomCircuit, MatchesSerialSimulator) {
+  const auto [n, ranks] = GetParam();
+  Rng rng(n * 1000 + ranks);
+  const Circuit c = circuit::random_circuit(n, 60, rng);
+  EXPECT_LT(plan_vs_serial(c, n, ranks, 4242), 1e-12);
+}
+
+TEST_P(DistPlanRandomCircuit, QftMatchesSerial) {
+  const auto [n, ranks] = GetParam();
+  EXPECT_LT(plan_vs_serial(circuit::qft(n), n, ranks, 1717), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DistPlanRandomCircuit,
+                         ::testing::Values(Case{8, 1}, Case{8, 2}, Case{8, 4}, Case{9, 8},
+                                           // nl = 3: a rank's whole chunk is one
+                                           // sweep chunk for the local pipeline.
+                                           Case{6, 8},
+                                           // Oversubscribed: more ranks than any
+                                           // test machine has cores.
+                                           Case{10, 32}));
+
+TEST(DistSchedule, RemapDisabledStillAgrees) {
+  Rng rng(5);
+  const Circuit c = circuit::random_circuit(9, 50, rng);
+  DistScheduleOptions opts;
+  opts.remap = false;
+  EXPECT_LT(plan_vs_serial(c, 9, 4, 99, opts), 1e-12);
+  EXPECT_LT(plan_vs_serial(c, 9, 4, 99, opts, CommPolicy::Exchange), 1e-12);
+}
+
+TEST(DistSchedule, ExchangePolicyExecutionAgrees) {
+  Rng rng(6);
+  const Circuit c = circuit::random_circuit(8, 50, rng);
+  DistScheduleOptions opts;
+  opts.policy = CommPolicy::Exchange;
+  EXPECT_LT(plan_vs_serial(c, 8, 4, 77, opts, CommPolicy::Exchange), 1e-12);
+}
+
+/// A global-qubit-heavy workload: a long run of non-diagonal gates on
+/// the two distributed qubits, plus local work.
+Circuit global_heavy_circuit(qubit_t n) {
+  Circuit c(n);
+  for (int rep = 0; rep < 20; ++rep) {
+    c.h(n - 1);
+    c.rx(n - 2, 0.3 + 0.01 * rep);
+    c.h(0);
+    c.cnot(n - 2, n - 1);
+  }
+  return c;
+}
+
+TEST(DistSchedule, PlanLocalizesGlobalHeavyRun) {
+  const qubit_t n = 10;
+  const qubit_t nl = 8;
+  const DistPlan plan = dist_schedule(global_heavy_circuit(n), nl, {});
+  // The exchange pass relocates the run: nearly all gates end up in
+  // rank-local segments and only a handful of chunk permutations remain.
+  EXPECT_GT(plan.exchanges(), 0u);
+  EXPECT_LT(plan.exchanges() + plan.globals(), 6u);
+  EXPECT_GT(plan.local_gates() + plan.globals(), 0u);
+  EXPECT_FALSE(plan.to_string().empty());
+}
+
+TEST(DistSchedule, RemappedSweepsCommunicateLessThanPerGateExchange) {
+  // The acceptance criterion: on a global-qubit-heavy circuit the
+  // amortized exchange pass must move strictly fewer bytes than the
+  // qHiPSTER-like per-gate chunk exchange.
+  const qubit_t n = 10;
+  const int ranks = 4;
+  const auto nl = static_cast<qubit_t>(n - 2);
+  const Circuit c = global_heavy_circuit(n);
+  const DistPlan plan = dist_schedule(c, nl, {});
+  std::uint64_t bytes_plan = 1, bytes_pergate = 0;
+  double diff = -1;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector a(comm, n);
+    a.randomize(11);
+    run_dist_plan(a, plan, CommPolicy::Specialized);
+    DistStateVector b(comm, n);
+    b.randomize(11);
+    b.run(c, CommPolicy::Exchange);
+    const double d = a.max_abs_diff(b);  // collective: every rank calls
+    if (comm.rank() == 0) {
+      bytes_plan = a.bytes_communicated();
+      bytes_pergate = b.bytes_communicated();
+      diff = d;
+    }
+  });
+  EXPECT_LT(diff, 1e-12);
+  EXPECT_GT(bytes_plan, 0u);
+  EXPECT_LT(bytes_plan, bytes_pergate);
+}
+
+TEST(DistSchedule, SingleRankPlanIsAllLocal) {
+  Rng rng(8);
+  const Circuit c = circuit::random_circuit(8, 40, rng);
+  const DistPlan plan = dist_schedule(c, 8, {});
+  EXPECT_EQ(plan.exchanges(), 0u);
+  EXPECT_EQ(plan.globals(), 0u);
+  EXPECT_EQ(plan.locals(), 1u);
+}
+
+TEST(DistSchedule, RejectsBadLocalWidth) {
+  Circuit c(4);
+  c.h(0);
+  EXPECT_THROW((void)dist_schedule(c, 0, {}), std::invalid_argument);
+  EXPECT_THROW((void)dist_schedule(c, 5, {}), std::invalid_argument);
+}
+
+TEST(PerfModel, Eq6ExchangeTermAndRemapGate) {
+  const models::MachineParams m = models::MachineParams::stampede();
+  // 16 bytes/amplitude over the chunk: doubling the chunk doubles time.
+  const double t20 = models::t_chunk_exchange_seconds(20, m);
+  EXPECT_NEAR(models::t_chunk_exchange_seconds(21, m), 2 * t20, 1e-12);
+  EXPECT_GT(t20, 0);
+  // The exchange pass (cost ~2 chunk exchanges) needs > 2 avoided
+  // per-gate exchanges to pay off.
+  EXPECT_FALSE(models::global_remap_profitable(2));
+  EXPECT_TRUE(models::global_remap_profitable(3));
+}
+
+}  // namespace
+}  // namespace qc::sched

@@ -60,7 +60,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Case{6, 1, CommPolicy::Specialized}, Case{6, 2, CommPolicy::Specialized},
                       Case{6, 2, CommPolicy::Exchange}, Case{8, 4, CommPolicy::Specialized},
                       Case{8, 4, CommPolicy::Exchange}, Case{9, 8, CommPolicy::Specialized},
-                      Case{9, 8, CommPolicy::Exchange}, Case{10, 4, CommPolicy::Specialized}));
+                      Case{9, 8, CommPolicy::Exchange}, Case{10, 4, CommPolicy::Specialized},
+                      // Oversubscribed: more ranks than test-machine cores.
+                      Case{10, 32, CommPolicy::Specialized}));
 
 TEST(DistStateVector, InitialStateIsZeroKet) {
   cluster::Cluster cluster(4, 1);
@@ -195,6 +197,162 @@ TEST(DistStateVector, RejectsNonPow2Ranks) {
   cluster::Cluster cluster(3, 1);
   EXPECT_THROW(cluster.run([](cluster::Comm& comm) { DistStateVector dsv(comm, 5); }),
                std::invalid_argument);
+}
+
+/// Applies `pairs` on both a distributed and a serial copy of the same
+/// random state and returns the max amplitude difference.
+double swaps_vs_serial(qubit_t n, int ranks,
+                       const std::vector<std::array<qubit_t, 2>>& pairs,
+                       std::uint64_t seed) {
+  StateVector serial(n);
+  serial.randomize_deterministic(seed);
+  kernels::apply_qubit_swaps(serial.amplitudes(), n, pairs);
+  double diff = -1;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(seed);
+    dsv.apply_qubit_swaps(pairs);
+    const StateVector gathered = dsv.gather_all();
+    if (comm.rank() == 0) diff = gathered.max_abs_diff(serial);
+  });
+  return diff;
+}
+
+TEST(DistQubitSwaps, LocalPairsMatchSerialAndMoveNoBytes) {
+  const qubit_t n = 8;
+  cluster::Cluster cluster(4, 1);
+  StateVector serial(n);
+  serial.randomize_deterministic(21);
+  kernels::apply_qubit_swaps(serial.amplitudes(), n, {{{0, 3}, {1, 5}}});
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(21);
+    dsv.apply_qubit_swaps({{{0, 3}, {1, 5}}});
+    EXPECT_EQ(dsv.bytes_communicated(), 0u);
+    const StateVector gathered = dsv.gather_all();
+    if (comm.rank() == 0) {
+      EXPECT_LT(gathered.max_abs_diff(serial), 1e-14);
+    }
+  });
+}
+
+TEST(DistQubitSwaps, GlobalLocalPairsMatchSerial) {
+  // One crossing pair, two crossing pairs, and a crossing+local mix.
+  EXPECT_LT(swaps_vs_serial(8, 4, {{{7, 2}}}, 31), 1e-14);
+  EXPECT_LT(swaps_vs_serial(8, 4, {{{7, 2}, {6, 0}}}, 32), 1e-14);
+  EXPECT_LT(swaps_vs_serial(9, 8, {{{8, 1}, {6, 4}, {0, 2}}}, 33), 1e-14);
+}
+
+TEST(DistQubitSwaps, GlobalGlobalPairMatchesSerial) {
+  EXPECT_LT(swaps_vs_serial(8, 4, {{{6, 7}}}, 34), 1e-14);
+  // Mixed: global-global plus crossing plus local, one collective pass.
+  EXPECT_LT(swaps_vs_serial(9, 8, {{{7, 8}, {6, 2}, {0, 1}}}, 35), 1e-14);
+}
+
+TEST(DistQubitSwaps, ExchangeMovesAtMostOneChunkPerPass) {
+  // k crossing pairs split the chunk into 2^k sub-blocks and keep one
+  // home: (2^k - 1) / 2^k of the chunk crosses the wire — never more
+  // than one full chunk regardless of how many qubits relocate at once.
+  const qubit_t n = 8;
+  cluster::Cluster cluster(4, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(36);
+    dsv.apply_qubit_swaps({{{7, 2}, {6, 0}}});
+    const std::uint64_t chunk_bytes = dim(n - 2) * sizeof(complex_t);
+    EXPECT_EQ(dsv.bytes_communicated(), chunk_bytes * 3 / 4);
+    EXPECT_LT(dsv.bytes_communicated(), chunk_bytes);
+  });
+}
+
+TEST(DistQubitSwaps, RejectsOverlappingPairs) {
+  cluster::Cluster cluster(2, 1);
+  EXPECT_THROW(cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, 6);
+    dsv.apply_qubit_swaps({{{0, 1}, {1, 2}}});
+  }),
+               std::invalid_argument);
+}
+
+TEST(DistMeasurement, RegisterDistributionMatchesSerial) {
+  const qubit_t n = 8;
+  StateVector serial(n);
+  serial.randomize_deterministic(41);
+  // Register straddling the local/global boundary (ranks = 4 -> nl = 6).
+  const std::vector<double> ref = serial.register_distribution(4, 4);
+  cluster::Cluster cluster(4, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(41);
+    const std::vector<double> dist = dsv.register_distribution(4, 4);
+    ASSERT_EQ(dist.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v) EXPECT_NEAR(dist[v], ref[v], 1e-12);
+  });
+}
+
+TEST(DistMeasurement, SampleAgreesOnAllRanksAndRespectsSupport) {
+  const qubit_t n = 6;
+  cluster::Cluster cluster(4, 1);
+  // |psi> with support on exactly two basis states, one per side of the
+  // rank boundary; every rank must report the same supported outcome.
+  cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.set_basis(3);  // support only on rank 0's chunk
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      Rng rng(seed);
+      EXPECT_EQ(dsv.sample(rng), index_t{3});
+    }
+  });
+}
+
+TEST(DistMeasurement, SampleMatchesSerialDrawForSameSeed) {
+  const qubit_t n = 7;
+  StateVector serial(n);
+  serial.randomize_deterministic(77);
+  for (const int ranks : {1, 2, 4, 8}) {
+    cluster::Cluster cluster(ranks, 1);
+    cluster.run([&](cluster::Comm& comm) {
+      DistStateVector dsv(comm, n);
+      dsv.randomize(77);
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng serial_rng(seed);
+        Rng dist_rng(seed);
+        EXPECT_EQ(dsv.sample(dist_rng), serial.sample(serial_rng))
+            << "ranks=" << ranks << " seed=" << seed;
+      }
+    });
+  }
+}
+
+TEST(DistMeasurement, CollapseMatchesSerialOnLocalAndGlobalQubit) {
+  const qubit_t n = 8;
+  const int ranks = 4;
+  for (const qubit_t q : {qubit_t{2}, qubit_t{7}}) {  // local and global
+    StateVector serial(n);
+    serial.randomize_deterministic(55);
+    serial.collapse(q, 1);
+    cluster::Cluster cluster(ranks, 1);
+    cluster.run([&](cluster::Comm& comm) {
+      DistStateVector dsv(comm, n);
+      dsv.randomize(55);
+      dsv.collapse(q, 1);
+      EXPECT_NEAR(dsv.norm_sq(), 1.0, 1e-12);
+      const StateVector gathered = dsv.gather_all();
+      if (comm.rank() == 0) {
+        EXPECT_LT(gathered.max_abs_diff(serial), 1e-13);
+      }
+    });
+  }
+}
+
+TEST(DistMeasurement, CollapseZeroProbabilityThrows) {
+  cluster::Cluster cluster(2, 1);
+  EXPECT_THROW(cluster.run([](cluster::Comm& comm) {
+    DistStateVector dsv(comm, 5);  // |00000>
+    dsv.collapse(4, 1);
+  }),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -99,7 +99,8 @@ TEST(Program, MeasureAndExpectationAreNotLowered) {
 TEST(Registry, BuiltinsPresentAndSorted) {
   const std::vector<std::string> names = backend_names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  for (const char* expected : {"auto", "fused", "hpc", "liquid-like", "qhipster-like"})
+  for (const char* expected :
+       {"auto", "cached", "dist", "fused", "hpc", "liquid-like", "qhipster-like"})
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing builtin " << expected;
 }
@@ -127,8 +128,10 @@ TEST(Registry, MakeSimulatorDelegatesAndEnumerates) {
     for (const char* name : {"auto", "fused", "hpc", "liquid-like", "qhipster-like"})
       EXPECT_NE(msg.find(name), std::string::npos) << "error should list " << name;
   }
-  // "auto" is registered but emulation-only: not a plain Simulator.
+  // "auto" is registered but emulation-only, and "dist" needs its rank
+  // options: neither is a plain Simulator.
   EXPECT_THROW((void)sim::make_simulator("auto"), std::invalid_argument);
+  EXPECT_THROW((void)sim::make_simulator("dist"), std::invalid_argument);
 }
 
 TEST(Registry, RoundTripCustomBackend) {
@@ -335,6 +338,142 @@ TEST(Engine, LoweredRunReportsWidenedRegisterButReturnsProgramState) {
   EXPECT_EQ(r.run_qubits, 5u);  // + carry ancilla
   EXPECT_EQ(r.state.qubits(), 4u);
   EXPECT_NEAR(r.state.norm_sq(), 1.0, 1e-12);
+}
+
+// --- the "dist" backend ------------------------------------------------
+
+/// Gate-segment + measurement + expectation program exercising every
+/// engine-routed op on the distributed path.
+Program dist_test_program(qubit_t n) {
+  Program p(n);
+  p.gates(prep_circuit(n))
+      .expectation_z(bits::low_mask(n) & 0b1011)
+      .measure({0, 2})
+      .h(n - 1)
+      .cr(0, n - 1, 0.41)
+      .measure({static_cast<qubit_t>(n - 2), 2});
+  return p;
+}
+
+TEST(DistBackend, MatchesHpcAcrossRankCounts) {
+  const qubit_t n = 8;
+  const Program p = dist_test_program(n);
+  RunOptions hpc_opts;
+  hpc_opts.backend = "hpc";
+  hpc_opts.seed = 9;
+  const Result ref = Engine().run(p, hpc_opts);
+  for (const int ranks : {1, 2, 4, 8}) {
+    RunOptions opts;
+    opts.backend = "dist";
+    opts.seed = 9;
+    opts.dist_ranks = ranks;
+    const Result r = Engine().run(p, opts);
+    EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12) << "ranks=" << ranks;
+    EXPECT_EQ(r.measurements, ref.measurements) << "ranks=" << ranks;
+    ASSERT_EQ(r.expectations.size(), ref.expectations.size());
+    for (std::size_t i = 0; i < r.expectations.size(); ++i)
+      EXPECT_NEAR(r.expectations[i], ref.expectations[i], 1e-12) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistBackend, TinyRegisterClampsRanksAndStillAgrees) {
+  // n = 3 with 8 or 16 requested ranks: clamped to 4 so every rank
+  // keeps one local qubit — a two-amplitude chunk, which the local
+  // pipeline runs as a single sweep chunk.
+  const qubit_t n = 3;
+  Program p(n);
+  p.gates(prep_circuit(n)).measure({0, n});
+  RunOptions hpc_opts;
+  hpc_opts.backend = "hpc";
+  const Result ref = Engine().run(p, hpc_opts);
+  for (const int ranks : {8, 16}) {
+    RunOptions opts;
+    opts.backend = "dist";
+    opts.dist_ranks = ranks;
+    const Result r = Engine().run(p, opts);
+    EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12) << "ranks=" << ranks;
+    EXPECT_EQ(r.measurements, ref.measurements);
+  }
+}
+
+TEST(DistBackend, ExchangePolicyAndNoRemapAgree) {
+  const qubit_t n = 8;
+  const Program p = dist_test_program(n);
+  RunOptions hpc_opts;
+  hpc_opts.backend = "hpc";
+  const Result ref = Engine().run(p, hpc_opts);
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.dist_policy = sim::CommPolicy::Exchange;
+  opts.dist_remap = false;
+  const Result r = Engine().run(p, opts);
+  EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12);
+  EXPECT_EQ(r.measurements, ref.measurements);
+}
+
+TEST(DistBackend, LoweredHighLevelProgramRunsDistributed) {
+  Program p(6);
+  p.h(0).h(1).h(2).h(3).add({0, 2}, {2, 2}).multiply({0, 2}, {2, 2}, {4, 2}).measure({4, 2});
+  expect_backends_agree(p, "dist");
+}
+
+TEST(DistBackend, RejectsNonPow2Ranks) {
+  Program p(4);
+  p.h(0);
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 3;
+  EXPECT_THROW((void)Engine().run(p, opts), std::invalid_argument);
+}
+
+// --- measurement-stream determinism and non-collapse ------------------
+
+TEST(Engine, MeasurementStreamSeedDeterministicAcrossAllBackends) {
+  const qubit_t n = 6;
+  Program p(n);
+  p.gates(prep_circuit(n)).measure({0, 3}).cnot(0, 5).measure({3, 3}).measure({0, n});
+  std::vector<index_t> ref;
+  for (const char* backend :
+       {"auto", "cached", "dist", "fused", "hpc", "liquid-like", "qhipster-like"}) {
+    RunOptions opts;
+    opts.backend = backend;
+    opts.seed = 31;
+    const Result r = Engine().run(p, opts);
+    ASSERT_EQ(r.measurements.size(), 3u) << backend;
+    if (ref.empty()) {
+      ref = r.measurements;
+    } else {
+      EXPECT_EQ(r.measurements, ref) << backend;
+    }
+  }
+}
+
+TEST(Engine, NoCollapseLeavesStateBitIdentical) {
+  // With collapse_measurements off, a Measure op must be a pure read:
+  // the final state equals the measure-free run bit for bit. Both
+  // programs use identical gate-segment boundaries (.gates() forces a
+  // fresh segment) so fusing backends build identical plans.
+  const qubit_t n = 7;
+  Circuit hseg(n);
+  hseg.h(0);
+  Program with_measure(n);
+  with_measure.gates(prep_circuit(n)).measure({0, 3}).gates(hseg).measure({2, 4});
+  Program without(n);
+  without.gates(prep_circuit(n)).gates(hseg);
+  for (const char* backend :
+       {"auto", "cached", "dist", "fused", "hpc", "liquid-like", "qhipster-like"}) {
+    RunOptions opts;
+    opts.backend = backend;
+    opts.collapse_measurements = false;
+    const Result a = Engine().run(with_measure, opts);
+    const Result b = Engine().run(without, opts);
+    ASSERT_EQ(a.state.qubits(), b.state.qubits()) << backend;
+    for (index_t i = 0; i < a.state.size(); ++i) {
+      EXPECT_EQ(a.state[i].real(), b.state[i].real()) << backend << " i=" << i;
+      EXPECT_EQ(a.state[i].imag(), b.state[i].imag()) << backend << " i=" << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Tests for the shared inverse-CDF sampler: prefix-sum correctness
+// (serial and parallel paths), the zero-probability-outcome regression
+// the three divergent copies used to disagree on, and the StateVector
+// sampling path built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/sampling.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qc::sim {
+namespace {
+
+TEST(SampleCdf, PrefixSumMatchesManualScan) {
+  const std::vector<double> w{0.1, 0.4, 0.0, 0.5, 0.25};
+  const SampleCdf cdf = SampleCdf::from_weights(w);
+  EXPECT_EQ(cdf.size(), w.size());
+  EXPECT_NEAR(cdf.total(), 1.25, 1e-15);
+  EXPECT_EQ(cdf.sample_scaled(0.05), 0u);
+  EXPECT_EQ(cdf.sample_scaled(0.1), 1u);   // boundary goes to the next outcome
+  EXPECT_EQ(cdf.sample_scaled(0.49), 1u);
+  EXPECT_EQ(cdf.sample_scaled(0.51), 3u);  // skips the zero-weight outcome 2
+  EXPECT_EQ(cdf.sample_scaled(1.1), 4u);
+}
+
+TEST(SampleCdf, ParallelPrefixMatchesSerialReference) {
+  // Large enough to trigger the parallel slab path; compare against a
+  // serial accumulation at matching summation order.
+  const std::size_t size = std::size_t{1} << 17;
+  Rng rng(42);
+  std::vector<double> w(size);
+  for (double& x : w) x = rng.uniform();
+  const SampleCdf cdf = SampleCdf::from_weights(w);
+  // Spot-check inverse mapping at many quantiles instead of exposing the
+  // internal array: outcome i must satisfy cum(i-1) <= u < cum(i).
+  double acc = 0;
+  std::vector<double> ref(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    acc += w[i];
+    ref[i] = acc;
+  }
+  EXPECT_NEAR(cdf.total(), acc, 1e-9 * acc);
+  for (int q = 0; q < 100; ++q) {
+    const double u = (q + 0.5) / 100.0 * acc;
+    const index_t i = cdf.sample_scaled(u);
+    ASSERT_LT(i, size);
+    EXPECT_LT(u, ref[i] + 1e-9 * acc);
+    if (i > 0) {
+      EXPECT_GE(u, ref[i - 1] - 1e-9 * acc);
+    }
+  }
+}
+
+TEST(SampleCdf, FloatingPointLeftoverFallsBackToLastSupportedOutcome) {
+  // Regression: the old StateVector::sample returned size() - 1 when the
+  // draw exceeded the accumulated sum (easy when the caller's total is
+  // computed in a different summation order) — even when that trailing
+  // amplitude had zero probability. The shared fallback must scan back
+  // to the last outcome with support.
+  const std::vector<double> w{0.25, 0.75, 0.0, 0.0, 0.0};
+  const SampleCdf cdf = SampleCdf::from_weights(w);
+  EXPECT_EQ(cdf.sample_scaled(cdf.total()), 1u);
+  EXPECT_EQ(cdf.sample_scaled(cdf.total() + 1.0), 1u);
+  // sample(u01): adversarial u01 = 1 - eps scaled up by rounding.
+  EXPECT_EQ(cdf.sample(std::nextafter(1.0, 0.0)), 1u);
+}
+
+TEST(SampleCdf, ThrowsOnEmptySupport) {
+  const std::vector<double> w{0.0, 0.0};
+  const SampleCdf cdf = SampleCdf::from_weights(w);
+  EXPECT_THROW((void)cdf.sample_scaled(0.0), std::runtime_error);
+}
+
+TEST(SampleCdf, FromAmplitudesUsesNormWeights) {
+  const std::vector<complex_t> a{{0.0, 0.5}, {0.5, 0.0}, {0.0, 0.0}, {0.5, 0.5}};
+  const SampleCdf cdf = SampleCdf::from_amplitudes(a);
+  EXPECT_NEAR(cdf.total(), 1.0, 1e-15);
+  EXPECT_EQ(cdf.sample_scaled(0.1), 0u);
+  EXPECT_EQ(cdf.sample_scaled(0.3), 1u);
+  EXPECT_EQ(cdf.sample_scaled(0.6), 3u);  // zero amplitude 2 never selected
+  EXPECT_EQ(cdf.sample_scaled(1.0), 3u);
+}
+
+TEST(StateVectorSample, NeverLandsOnZeroAmplitudeTail) {
+  // State with support only on the first 4 basis states and an all-zero
+  // tail; across many seeds no draw may land in the tail (the old
+  // fallback could return the last index).
+  StateVector sv(10);
+  sv.set_basis(0);
+  auto a = sv.amplitudes();
+  a[0] = {0.5, 0.0};
+  a[1] = {0.0, 0.5};
+  a[2] = {0.5, 0.0};
+  a[3] = {0.0, 0.5};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    EXPECT_LT(sv.sample(rng), index_t{4}) << "seed " << seed;
+  }
+}
+
+TEST(StateVectorSample, MatchesDistributionStatistically) {
+  StateVector sv(3);
+  sv.set_basis(0);
+  auto a = sv.amplitudes();
+  a[0] = {std::sqrt(0.5), 0.0};
+  a[5] = {0.0, std::sqrt(0.5)};
+  Rng rng(7);
+  std::size_t hits5 = 0;
+  const std::size_t shots = 4000;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const index_t o = sv.sample(rng);
+    ASSERT_TRUE(o == 0 || o == 5);
+    hits5 += o == 5;
+  }
+  EXPECT_NEAR(static_cast<double>(hits5) / static_cast<double>(shots), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace qc::sim
