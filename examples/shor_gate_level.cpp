@@ -10,6 +10,10 @@
 // distribution; the wall-clock gap is the paper's whole argument.
 //
 // Run: ./shor_gate_level [--N 15] [--a 7] [--t 8] [--backend hpc]
+//                        [--ranks 2]
+// --ranks sets RunOptions.dist_ranks for --backend dist: the whole
+// order-finding circuit then runs against one resident cluster session
+// (one scatter, one gather for the entire program).
 #include <cstdio>
 
 #include "circuit/builders.hpp"
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
   // --- gate-level simulation -------------------------------------------
   // The Beauregard circuit runs as an engine Program with one gate
   // segment, so any registered gate-level backend can execute it
-  // (--backend hpc | fused | qhipster-like | liquid-like).
+  // (--backend hpc | fused | cached | dist | qhipster-like | liquid-like).
   circuit::Circuit full = revcirc::order_finding_circuit(layout, a, N);
   {
     // Inverse QFT on the exponent register to finish QPE.
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   gate_program.gates(full);
   engine::RunOptions gate_opts;
   gate_opts.backend = cli.get_string("backend", "hpc");
+  gate_opts.dist_ranks = static_cast<int>(cli.get_int("ranks", 2));
   const engine::Result gate_result = engine::Engine().run(gate_program, gate_opts);
   const double t_gate = gate_result.total_seconds;
   std::printf("simulation: %zu gates on %u qubits ('%s')  %.4f s\n", full.size(),

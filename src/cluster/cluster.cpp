@@ -102,50 +102,142 @@ double Comm::allreduce_max(double local) {
   return *std::max_element(all.begin(), all.end());
 }
 
-Cluster::Cluster(int ranks, int omp_threads_per_rank) : ranks_(ranks) {
-  if (ranks < 1) throw std::invalid_argument("Cluster: need at least one rank");
+namespace {
+
+/// True when `e` is (exactly) the secondary ClusterAborted wake-up —
+/// used to prefer reporting a root-cause error from a peer rank.
+bool is_cluster_aborted(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ClusterAborted&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ClusterSession::ClusterSession(int ranks, int omp_threads_per_rank) : ranks_(ranks) {
+  if (ranks < 1) throw std::invalid_argument("ClusterSession: need at least one rank");
   if (omp_threads_per_rank <= 0) {
     omp_threads_per_rank_ = std::max(1, max_threads() / ranks);
   } else {
     omp_threads_per_rank_ = omp_threads_per_rank;
   }
+  state_ = std::make_unique<detail::SharedState>(ranks_);
+  threads_.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) threads_.emplace_back([this, r] { worker(r); });
 }
 
-void Cluster::run(const std::function<void(Comm&)>& fn) {
-  detail::SharedState state(ranks_);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(ranks_));
-
-  for (int r = 0; r < ranks_; ++r) {
-    threads.emplace_back([&, r] {
-      // Each rank gets its own OpenMP thread budget so nested parallel
-      // kernels divide rather than oversubscribe the machine.
-      omp_set_num_threads(omp_threads_per_rank_);
-      Comm comm(r, &state);
-      try {
-        fn(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        state.abort_all();
-      }
-    });
+ClusterSession::~ClusterSession() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
   }
-  for (auto& t : threads) t.join();
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
 
-  for (const auto& e : errors) {
-    if (e == nullptr) continue;
-    // Prefer reporting a root-cause error over a secondary ClusterAborted.
-    try {
-      std::rethrow_exception(e);
-    } catch (const ClusterAborted&) {
-      continue;
-    } catch (...) {
-      std::rethrow_exception(e);
+void ClusterSession::worker(int rank) {
+  // Each rank gets its own OpenMP thread budget so nested parallel
+  // kernels divide rather than oversubscribe the machine.
+  omp_set_num_threads(omp_threads_per_rank_);
+  detail::session_worker = this;
+  Comm comm(rank, state_.get());
+  for (std::size_t j = 0;; ++j) {
+    bool skip = false;
+    const std::function<void(Comm&)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      // Jobs run in lockstep: job j starts only once job j-1 finished
+      // on every rank AND any failure recovery ran — the barrier and
+      // mailboxes are shared, so overlapping jobs would corrupt them.
+      cv_.wait(lock, [&] { return completed_ == j && (j < jobs_.size() || stop_); });
+      if (j >= jobs_.size()) return;  // stop requested, queue drained
+      // Element pointer taken under the lock: deque push_back (a
+      // concurrent submit) never invalidates it.
+      job = &jobs_[j];
+      skip = failed_batch_;
+    }
+    std::exception_ptr err;
+    if (!skip) {
+      try {
+        (*job)(comm);
+      } catch (...) {
+        err = std::current_exception();
+        state_->abort_all();
+      }
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (err != nullptr) {
+        failed_batch_ = true;
+        const bool aborted = is_cluster_aborted(err);
+        if (error_ == nullptr || (error_is_aborted_ && !aborted)) {
+          error_ = err;
+          error_is_aborted_ = aborted;
+        }
+      }
+      if (++done_in_current_ == ranks_) {
+        done_in_current_ = 0;
+        if (state_->aborted.load(std::memory_order_relaxed)) recover_locked();
+        ++completed_;
+        cv_.notify_all();
+      }
     }
   }
-  for (const auto& e : errors)
-    if (e != nullptr) std::rethrow_exception(e);
+}
+
+void ClusterSession::recover_locked() {
+  // All ranks are parked between jobs here, so no mailbox or barrier
+  // lock is held by anyone; reset the substrate for the next job.
+  state_->aborted.store(false, std::memory_order_seq_cst);
+  for (auto& b : state_->boxes) {
+    std::lock_guard lock(b.mutex);
+    b.queue.clear();
+  }
+  {
+    std::lock_guard lock(state_->barrier.mutex);
+    state_->barrier.waiting = 0;
+    ++state_->barrier.generation;
+  }
+}
+
+void ClusterSession::submit(std::function<void(Comm&)> fn) {
+  if (!fn) throw std::invalid_argument("ClusterSession::submit: null job");
+  // Only *self*-submission is rejected: a job running a different,
+  // inner session (the pre-session Cluster-inside-Cluster pattern)
+  // stays legal.
+  if (detail::session_worker == this)
+    throw std::logic_error(
+        "ClusterSession::submit: nested submit from inside a job (every rank "
+        "would enqueue a copy)");
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push_back(std::move(fn));
+  }
+  cv_.notify_all();
+}
+
+void ClusterSession::sync() {
+  if (detail::session_worker == this)
+    throw std::logic_error("ClusterSession::sync: called from inside this session's job");
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return completed_ == jobs_.size(); });
+  failed_batch_ = false;  // re-arm: jobs submitted after sync() run again
+  if (error_ != nullptr) {
+    const std::exception_ptr e = error_;
+    error_ = nullptr;
+    error_is_aborted_ = true;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ClusterSession::run(const std::function<void(Comm&)>& fn) {
+  submit(fn);
+  sync();
 }
 
 }  // namespace qc::cluster

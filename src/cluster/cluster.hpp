@@ -19,6 +19,14 @@
 //    send order (MPI's non-overtaking rule).
 //  * If any rank throws, the cluster aborts: every blocked call wakes and
 //    throws ClusterAborted, and Cluster::run rethrows the original error.
+//
+// The runtime is persistent: a ClusterSession spawns its rank threads
+// once and parks them on a job queue. submit() enqueues a closure that
+// every rank executes against rank-local state that *survives between
+// submissions* — the distributed state vector stays resident across a
+// whole Engine::run instead of being scattered and gathered per op.
+// Cluster is a thin synchronous wrapper (run = submit + sync) kept for
+// the one-shot callers.
 #pragma once
 
 #include <atomic>
@@ -31,6 +39,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -76,6 +85,12 @@ struct SharedState {
 
   void abort_all();
 };
+
+/// Identifies the session (if any) whose worker thread we are on, so
+/// submit()/sync() can reject calls made from inside a job — a job runs
+/// on *every* rank, so a nested submit would enqueue once per rank and
+/// a nested sync would deadlock against the job-completion barrier.
+inline thread_local const void* session_worker = nullptr;
 
 }  // namespace detail
 
@@ -234,6 +249,7 @@ class Comm {
 
  private:
   friend class Cluster;
+  friend class ClusterSession;
   Comm(int rank, detail::SharedState* state) : rank_(rank), state_(state) {}
 
   /// Count exchange for alltoallv (non-template helper).
@@ -246,23 +262,97 @@ class Comm {
   detail::SharedState* state_;
 };
 
-/// Owns the rank threads and the shared mailbox state.
-class Cluster {
+/// Persistent SPMD execution context: owns the rank threads and the
+/// shared mailbox state for its whole lifetime. Rank threads are
+/// spawned once by the constructor and park on a job queue; each
+/// submitted closure runs on every rank, in submission order, with one
+/// full-stop completion barrier between jobs (the barrier and mailboxes
+/// are shared, so jobs must not overlap). Rank-local state captured by
+/// the closures — e.g. each rank's DistStateVector chunk — therefore
+/// survives between submissions, which is what lets the distributed
+/// backend keep the state resident across a whole Engine::run.
+///
+/// Failure semantics, preserved from the one-shot Cluster::run: a rank
+/// throwing inside job k aborts the cluster (peers blocked in
+/// communication wake with ClusterAborted and finish job k), the jobs
+/// queued behind k in the same batch are skipped, and sync() rethrows
+/// the root-cause error. The session then *recovers*: the abort flag is
+/// cleared, mailboxes drained and the barrier reset before the next
+/// job starts, so a session is usable again after sync() — though any
+/// rank-local user state is the caller's to rebuild.
+class ClusterSession {
  public:
   /// `ranks` >= 1. `omp_threads_per_rank` <= 0 divides the machine's
   /// OpenMP threads evenly among ranks (so nested kernels do not
-  /// oversubscribe); pass 1 for strictly serial ranks.
-  explicit Cluster(int ranks, int omp_threads_per_rank = 0);
+  /// oversubscribe); pass 1 for strictly serial ranks. Spawns the rank
+  /// threads immediately; they park until the first submit().
+  explicit ClusterSession(int ranks, int omp_threads_per_rank = 0);
 
-  /// Executes fn on every rank concurrently; returns when all complete.
-  /// Rethrows the first rank failure (after aborting the others).
-  void run(const std::function<void(Comm&)>& fn);
+  /// Joins the parked rank threads (after draining queued jobs).
+  ~ClusterSession();
+
+  ClusterSession(const ClusterSession&) = delete;
+  ClusterSession& operator=(const ClusterSession&) = delete;
 
   [[nodiscard]] int ranks() const noexcept { return ranks_; }
 
+  /// Enqueues `fn` to run on every rank; returns immediately. Throws
+  /// std::logic_error when called from inside a job (nested submit).
+  void submit(std::function<void(Comm&)> fn);
+
+  /// Blocks until every submitted job completed on every rank, then
+  /// rethrows the first root-cause failure of the batch (if any) and
+  /// re-arms the session for further submissions.
+  void sync();
+
+  /// One-shot convenience: submit(fn) + sync().
+  void run(const std::function<void(Comm&)>& fn);
+
  private:
+  void worker(int rank);
+  /// Post-failure cleanup (session mutex held, all ranks parked): clear
+  /// the abort flag, drain every mailbox, reset the barrier.
+  void recover_locked();
+
   int ranks_;
   int omp_threads_per_rank_;
+  std::unique_ptr<detail::SharedState> state_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Append-only job log. A deque, not a vector: workers invoke
+  /// jobs_[j] outside the mutex, and deque push_back never invalidates
+  /// references to existing elements while a concurrent submit() grows
+  /// the log.
+  std::deque<std::function<void(Comm&)>> jobs_;
+  std::size_t completed_ = 0;  ///< Jobs finished (all ranks + recovery).
+  int done_in_current_ = 0;    ///< Ranks done with job `completed_`.
+  bool failed_batch_ = false;  ///< Skip queued jobs until the next sync().
+  bool stop_ = false;
+  std::exception_ptr error_;   ///< First root-cause error of the batch.
+  bool error_is_aborted_ = true;
+};
+
+/// One-shot synchronous view of the runtime, kept for callers that want
+/// the original scoped semantics. Backed by a persistent ClusterSession,
+/// so repeated run() calls reuse the same parked rank threads.
+class Cluster {
+ public:
+  explicit Cluster(int ranks, int omp_threads_per_rank = 0)
+      : session_(ranks, omp_threads_per_rank) {}
+
+  /// Executes fn on every rank concurrently; returns when all complete.
+  /// Rethrows the first rank failure (after aborting the others).
+  void run(const std::function<void(Comm&)>& fn) { session_.run(fn); }
+
+  [[nodiscard]] int ranks() const noexcept { return session_.ranks(); }
+
+  /// The persistent session behind this cluster.
+  [[nodiscard]] ClusterSession& session() noexcept { return session_; }
+
+ private:
+  ClusterSession session_;
 };
 
 }  // namespace qc::cluster

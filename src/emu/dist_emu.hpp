@@ -11,6 +11,13 @@
 // scatters the received amplitudes — one communication phase regardless
 // of the function's complexity. The distributed QFT shortcut delegates
 // to the six-step distributed FFT (Eq. 5's three all-to-alls).
+//
+// Every method is collective over the wrapped state's communicator and
+// runs equally well inside a one-shot Cluster::run or as a submitted
+// job of a persistent cluster::ClusterSession — the emulator holds no
+// communication state of its own, so a resident DistStateVector can be
+// operated on across many session jobs (see the resident-session
+// tests in tests/test_dist_emu.cpp).
 #pragma once
 
 #include <functional>

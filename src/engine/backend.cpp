@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
+#include <span>
 #include <stdexcept>
 
+#include "cluster/cluster.hpp"
 #include "emu/dist_emu.hpp"
 #include "emu/observables.hpp"
 #include "fuse/fused_simulator.hpp"
+#include "models/perf_model.hpp"
 #include "sched/cached_simulator.hpp"
 #include "sched/dist_schedule.hpp"
 #include "sim/sampling.hpp"
@@ -32,6 +36,10 @@ index_t Backend::measure_register(sim::StateVector& sv, RegRef r, double u, bool
 double Backend::expectation_z(sim::StateVector& sv, index_t mask) {
   return emu::expectation_z_string(sv, mask);
 }
+
+void Backend::end_run(sim::StateVector&) {}
+
+BackendCounters Backend::counters() const { return {}; }
 
 namespace {
 
@@ -97,18 +105,29 @@ class AutoBackend final : public Backend {
   sim::StateVector* bound_ = nullptr;
 };
 
-/// The distributed execution backend ("dist"): gate segments are
-/// planned once by sched::dist_schedule, then an in-process cluster of
-/// opts.dist_ranks rank threads scatters the engine's state, runs the
-/// plan (rank-local fused/cache-blocked sweeps, amortized global<->local
-/// exchange passes, per-gate fallbacks), and gathers the chunks back.
-/// Measurement ops run collectively against the distributed state —
-/// DistStateVector's §3.4 surface — with the engine's uniform draw, so
-/// the recorded streams match the serial backends seed for seed.
+/// The distributed execution backend ("dist"), built around a
+/// persistent cluster::ClusterSession. The first op that needs the
+/// distributed state opens the session (rank threads spawned once,
+/// parked on the job queue) and scatters the engine's host state into
+/// per-rank resident DistStateVector chunks — exactly once per
+/// Engine::run. Every subsequent gate segment, exchange pass, Measure,
+/// ExpectationZ and collapse is submitted as a job against those
+/// *resident* chunks: gate segments chain their logical->physical qubit
+/// permutation forward (dist_schedule's perm_io) instead of restoring
+/// logical order between segments, and the measurement surface reads
+/// straight through the live permutation. While resident_ the bound
+/// host state (host_) is stale and is refreshed by at most one gather,
+/// at end_run — so a multi-op program pays two host stagings total instead
+/// of two per op (models::t_host_staging_seconds prices the
+/// difference; counters() reports the actual bytes into the engine
+/// trace). Measurement ops still consume the engine's uniform draw, so
+/// recorded streams match the serial backends seed for seed.
 class DistBackend final : public Backend {
  public:
   explicit DistBackend(const RunOptions& opts)
-      : ranks_(opts.dist_ranks), policy_(opts.dist_policy) {
+      : ranks_(opts.dist_ranks),
+        policy_(opts.dist_policy),
+        resident_mode_(opts.dist_resident) {
     if (ranks_ < 1 || !bits::is_pow2(static_cast<index_t>(ranks_)))
       throw std::invalid_argument("dist backend: rank count must be a power of two >= 1");
     dopts_.fusion = opts.fusion;
@@ -117,43 +136,86 @@ class DistBackend final : public Backend {
     dopts_.policy = opts.dist_policy;
   }
 
+  /// Drops resident chunks without gathering (the engine's end_run is
+  /// the one gather point); the session destructor joins the parked
+  /// rank threads.
+  ~DistBackend() override { release_slots(); }
+
   [[nodiscard]] std::string name() const override { return "dist"; }
 
   void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
     if (c.empty()) return;
-    const int ranks = effective_ranks(sv.qubits());
-    const auto global = static_cast<qubit_t>(bits::log2_floor(static_cast<index_t>(ranks)));
-    const sched::DistPlan plan =
-        sched::dist_schedule(c, static_cast<qubit_t>(sv.qubits() - global), dopts_);
-    with_cluster(sv, ranks, [&](sim::DistStateVector& dsv) {
-      sched::run_dist_plan(dsv, plan, policy_);
-      return true;
+    ensure_resident(sv);
+    const auto nl = static_cast<qubit_t>(resident_n_ - session_global_qubits());
+    const sched::DistPlan plan = sched::dist_schedule(c, nl, dopts_, &perm_);
+    session_->submit([this, plan](cluster::Comm& comm) {
+      sched::run_dist_plan(*slots_[static_cast<std::size_t>(comm.rank())], plan, policy_);
     });
+    session_->sync();
+    if (!resident_mode_) flush_to_host();
   }
 
   index_t measure_register(sim::StateVector& sv, RegRef r, double u,
                            bool collapse) override {
+    ensure_resident(sv);
+    // Measure through the live permutation: bit j of the outcome reads
+    // the physical position of logical qubit offset+j. No restore pass.
+    std::vector<qubit_t> phys(r.width);
+    for (qubit_t j = 0; j < r.width; ++j) phys[j] = perm_[r.offset + j];
     index_t outcome = 0;
-    with_cluster(sv, effective_ranks(sv.qubits()), [&](sim::DistStateVector& dsv) {
-      const std::vector<double> dist = dsv.register_distribution(r.offset, r.width);
+    session_->submit([this, phys, u, collapse, &outcome](cluster::Comm& comm) {
+      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+      const std::vector<double> dist =
+          dsv.register_distribution(std::span<const qubit_t>(phys));
       const index_t o = sim::SampleCdf::from_weights(dist).sample(u);
-      if (dsv.comm().rank() == 0) outcome = o;
-      if (!collapse) return false;  // read-only: leave sv bit-identical
-      for (qubit_t j = 0; j < r.width; ++j)
-        dsv.collapse(r.offset + j, bits::test(o, j) ? 1 : 0);
-      return true;
+      if (comm.rank() == 0) outcome = o;
+      if (!collapse) return;  // read-only: resident state untouched
+      for (std::size_t j = 0; j < phys.size(); ++j)
+        dsv.collapse(phys[j], bits::test(o, static_cast<qubit_t>(j)) ? 1 : 0);
     });
+    session_->sync();
+    // Per-op baseline fidelity: the pre-session code gathered only when
+    // the op mutated the state — a read-only measure pays its scatter
+    // and drops the chunks.
+    if (!resident_mode_) {
+      if (collapse) {
+        flush_to_host();
+      } else {
+        discard_resident();
+      }
+    }
     return outcome;
   }
 
   double expectation_z(sim::StateVector& sv, index_t mask) override {
+    ensure_resident(sv);
+    // <Z_mask> is permutation-covariant: map the logical mask to the
+    // physical bit positions and reduce in place.
+    index_t pmask = 0;
+    for (qubit_t q = 0; mask >> q; ++q)
+      if (bits::test(mask, q)) pmask = bits::set(pmask, perm_[q]);
     double value = 0;
-    with_cluster(sv, effective_ranks(sv.qubits()), [&](sim::DistStateVector& dsv) {
-      const double v = emu::expectation_z_string(dsv, mask);
-      if (dsv.comm().rank() == 0) value = v;
-      return false;
+    session_->submit([this, pmask, &value](cluster::Comm& comm) {
+      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+      const double v = emu::expectation_z_string(dsv, pmask);
+      if (comm.rank() == 0) value = v;
     });
+    session_->sync();
+    if (!resident_mode_) discard_resident();  // read-only: no gather
     return value;
+  }
+
+  void end_run(sim::StateVector& sv) override {
+    if (resident_ && host_ == &sv) flush_to_host();
+  }
+
+  [[nodiscard]] BackendCounters counters() const override {
+    BackendCounters c;
+    c.host_bytes = host_bytes_;
+    c.net_bytes = net_bytes_;
+    for (const auto& s : slots_)
+      if (s != nullptr) c.net_bytes += s->bytes_communicated();
+    return c;
   }
 
  private:
@@ -166,34 +228,106 @@ class DistBackend final : public Backend {
         std::min<index_t>(static_cast<index_t>(ranks_), dim(static_cast<qubit_t>(n - 1))));
   }
 
-  /// Scatters sv over a fresh in-process cluster, runs `body` on every
-  /// rank, and gathers the disjoint chunks back when body returns true.
-  /// Each engine-routed op pays one rank-thread spawn/join plus the
-  /// scatter/gather copies because Cluster::run is synchronous — fine
-  /// for this in-process demonstrator, and the cost is per *op*, not
-  /// per gate (a segment's whole plan runs inside one cluster). A
-  /// persistent rank pool that keeps the state resident across ops is
-  /// the natural next step once the cluster substrate grows a job
-  /// queue.
-  template <typename Body>
-  void with_cluster(sim::StateVector& sv, int ranks, const Body& body) {
-    cluster::Cluster cl(ranks);
-    const auto a = sv.amplitudes();
-    cl.run([&](cluster::Comm& comm) {
-      sim::DistStateVector dsv(comm, sv.qubits());
-      const index_t chunk = dim(dsv.local_qubits());
-      const auto base = static_cast<std::ptrdiff_t>(comm.rank()) *
-                        static_cast<std::ptrdiff_t>(chunk);
-      std::copy(a.begin() + base, a.begin() + base + static_cast<std::ptrdiff_t>(chunk),
-                dsv.local().begin());
-      if (body(dsv))
-        std::copy(dsv.local().begin(), dsv.local().end(), a.begin() + base);
+  [[nodiscard]] qubit_t session_global_qubits() const {
+    return static_cast<qubit_t>(
+        bits::log2_floor(static_cast<index_t>(session_->ranks())));
+  }
+
+  /// Binds `sv` as the resident distributed state: opens (or reuses)
+  /// the session and scatters the host amplitudes into per-rank chunks.
+  /// Subsequent calls with the same bound state are free — this is the
+  /// "exactly one scatter per run" point. A *different* state (or a
+  /// width change, e.g. the clamp lifting when the register widens)
+  /// first flushes the old resident state back, and reuses the already
+  /// parked rank threads whenever the clamp resolves to the same rank
+  /// count instead of silently rebuilding the session per op.
+  void ensure_resident(sim::StateVector& sv) {
+    if (resident_ && host_ == &sv && resident_n_ == sv.qubits()) return;
+    if (resident_) flush_to_host();
+    const int eff = effective_ranks(sv.qubits());
+    if (session_ == nullptr || session_->ranks() != eff)
+      session_ = std::make_unique<cluster::ClusterSession>(eff);
+    const qubit_t n = sv.qubits();
+    release_slots();
+    slots_.resize(static_cast<std::size_t>(eff));
+    const auto amps = sv.amplitudes();
+    session_->submit([this, n, amps](cluster::Comm& comm) {
+      auto dsv = std::make_unique<sim::DistStateVector>(comm, n);
+      const index_t chunk = dim(dsv->local_qubits());
+      const auto base =
+          static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
+      std::copy(amps.begin() + base, amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                dsv->local().begin());
+      slots_[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
     });
+    session_->sync();
+    host_ = &sv;
+    resident_ = true;
+    resident_n_ = n;
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), qubit_t{0});
+    host_bytes_ += models::staging_bytes(n);
+  }
+
+  /// The at-most-one gather: restores physical qubit order (the only
+  /// restore of the whole run — segments deferred theirs via perm_io),
+  /// copies the chunks back into the bound host state, and drops the
+  /// resident slots. The session stays open for reuse.
+  void flush_to_host() {
+    if (!resident_) return;
+    const auto rounds = sched::restore_rounds(perm_);
+    const auto amps = host_->amplitudes();
+    session_->submit([this, rounds, amps](cluster::Comm& comm) {
+      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+      for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
+      const index_t chunk = dim(dsv.local_qubits());
+      const auto base =
+          static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
+      std::copy(dsv.local().begin(), dsv.local().end(), amps.begin() + base);
+    });
+    session_->sync();
+    release_slots();
+    host_bytes_ += models::staging_bytes(resident_n_);
+    resident_ = false;
+    host_ = nullptr;
+  }
+
+  /// Drops the resident chunks *without* gathering — legal only when
+  /// the resident state still equals the bound host state (read-only
+  /// ops in the per-op baseline, where residency was created this op
+  /// and nothing mutated or permuted it).
+  void discard_resident() {
+    if (!resident_) return;
+    release_slots();
+    resident_ = false;
+    host_ = nullptr;
+  }
+
+  /// Folds the per-rank communication counters into net_bytes_ and
+  /// frees the chunks (host-side: DistStateVector's destructor does not
+  /// communicate).
+  void release_slots() {
+    for (auto& s : slots_)
+      if (s != nullptr) {
+        net_bytes_ += s->bytes_communicated();
+        s.reset();
+      }
+    slots_.clear();
   }
 
   int ranks_;
   sim::CommPolicy policy_;
   sched::DistScheduleOptions dopts_;
+  bool resident_mode_;
+
+  std::unique_ptr<cluster::ClusterSession> session_;
+  std::vector<std::unique_ptr<sim::DistStateVector>> slots_;  ///< One per rank.
+  sim::StateVector* host_ = nullptr;  ///< Host state the residency is bound to.
+  bool resident_ = false;
+  qubit_t resident_n_ = 0;
+  std::vector<qubit_t> perm_;  ///< Logical->physical, carried across segments.
+  std::uint64_t host_bytes_ = 0;
+  std::uint64_t net_bytes_ = 0;
 };
 
 struct BackendEntry {

@@ -19,6 +19,7 @@
 // make_gate_simulator() kept for source compatibility.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -65,6 +66,26 @@ struct RunOptions {
   /// Allow the "dist" backend's cost-gated global<->local qubit
   /// exchange passes (off: every global-qubit gate runs per-gate).
   bool dist_remap = true;
+  /// Keep the "dist" backend's distributed state resident across the
+  /// whole run: one scatter at first use, ops executed against the
+  /// live per-rank chunks (gate segments chain their qubit permutation
+  /// forward instead of restoring logical order between segments), one
+  /// gather at run end. Off: the pre-session behaviour — every
+  /// engine-routed op pays its own scatter, and every mutating op its
+  /// own gather (kept as the measurable baseline; see
+  /// models::t_host_staging_seconds).
+  bool dist_resident = true;
+};
+
+/// Monotone byte counters a backend exposes for the per-op engine
+/// trace. `host_bytes` is data staged between the engine's host state
+/// and backend-resident storage (the dist backend's scatter/gather);
+/// `net_bytes` is data moved between ranks. Engine::run records per-op
+/// deltas, so a resident run shows one scatter on the first op and one
+/// gather at finalize instead of two stagings on every op.
+struct BackendCounters {
+  std::uint64_t host_bytes = 0;
+  std::uint64_t net_bytes = 0;
 };
 
 class Backend {
@@ -96,6 +117,15 @@ class Backend {
   /// <Z_mask> of the current state. Default: serial one-pass reduction;
   /// "dist" overrides with the collective reduction.
   virtual double expectation_z(sim::StateVector& sv, index_t mask);
+
+  /// Called once by Engine::run after the last op. Backends holding
+  /// state resident elsewhere ("dist") flush it back into `sv` here —
+  /// the at-most-one gather of a resident run. Default: no-op.
+  virtual void end_run(sim::StateVector& sv);
+
+  /// Monotone counters behind the engine trace's per-op byte columns.
+  /// Default: all zero (purely host-side backends move nothing).
+  [[nodiscard]] virtual BackendCounters counters() const;
 };
 
 using BackendFactory = std::function<std::unique_ptr<Backend>(const RunOptions&)>;

@@ -29,6 +29,7 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   res.run_qubits = prog->qubits();
   res.trace.reserve(prog->size());
   WallTimer total;
+  BackendCounters before = backend->counters();
   for (const Op& op : prog->ops()) {
     WallTimer t;
     switch (op.kind) {
@@ -49,7 +50,23 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
       default:
         backend->run_highlevel(sv, op);
     }
-    res.trace.push_back({op.label(), t.seconds()});
+    const BackendCounters after = backend->counters();
+    res.trace.push_back({op.label(), t.seconds(), after.host_bytes - before.host_bytes,
+                         after.net_bytes - before.net_bytes});
+    before = after;
+  }
+  // A backend holding state resident elsewhere flushes it back exactly
+  // once, here; the bytes it moves get their own trailing trace row so
+  // the per-run staging count stays auditable.
+  {
+    WallTimer t;
+    backend->end_run(sv);
+    const BackendCounters after = backend->counters();
+    if (after.host_bytes != before.host_bytes || after.net_bytes != before.net_bytes)
+      res.trace.push_back({"[finalize]", t.seconds(), after.host_bytes - before.host_bytes,
+                           after.net_bytes - before.net_bytes});
+    res.host_bytes = after.host_bytes;
+    res.net_bytes = after.net_bytes;
   }
   res.total_seconds = total.seconds();
 

@@ -24,10 +24,17 @@
 
 namespace qc::engine {
 
-/// One per-op timing sample of a run.
+/// One per-op timing sample of a run. The byte columns are deltas of
+/// the backend's monotone counters around this op: a resident dist run
+/// shows host_bytes only on the op that scattered (and on the trailing
+/// "[finalize]" row that gathered), while the per-op baseline shows two
+/// stagings on every row — the measurable difference a persistent
+/// cluster session makes.
 struct OpTrace {
   std::string op;       ///< Op::label() of the executed node.
   double seconds = 0;   ///< Wall-clock time of this node.
+  std::uint64_t host_bytes = 0;  ///< Host<->rank staging bytes this op moved.
+  std::uint64_t net_bytes = 0;   ///< Rank<->rank bytes this op moved.
 };
 
 struct Result {
@@ -39,10 +46,17 @@ struct Result {
   /// Value of each ExpectationZ op, in program order.
   std::vector<double> expectations;
   /// Per-op wall-clock trace (of the lowered program when lowering ran).
+  /// A backend that flushes resident state at run end (dist) appends
+  /// one trailing "[finalize]" row covering that gather.
   std::vector<OpTrace> trace;
   std::string backend;      ///< Backend name the run used.
   qubit_t run_qubits = 0;   ///< Qubits actually simulated (incl. ancillas).
   double total_seconds = 0; ///< End-to-end wall-clock time.
+  /// Whole-run totals of the backend byte counters (equal to the sums
+  /// of the trace columns): host<->rank staging and rank<->rank
+  /// communication volume.
+  std::uint64_t host_bytes = 0;
+  std::uint64_t net_bytes = 0;
 };
 
 class Engine {

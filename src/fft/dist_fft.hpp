@@ -14,6 +14,11 @@
 //
 // Exactly the three all-to-all transposition steps the paper's
 // performance model (Eq. 5) charges: T_FFT = 5Nn/(eff*FLOPS) + 3*16N/Bnet.
+//
+// dist_fft is collective and stateless between calls: it can run as a
+// one-shot Cluster::run body or as successive jobs of a persistent
+// cluster::ClusterSession against rank-local chunks that stay resident
+// between submissions (tests/test_dist_fft.cpp exercises the latter).
 #pragma once
 
 #include <span>

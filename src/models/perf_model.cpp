@@ -112,4 +112,15 @@ bool global_remap_profitable(std::size_t exchanges_avoided, double remap_exchang
   return static_cast<double>(exchanges_avoided) > remap_exchange_cost;
 }
 
+std::uint64_t staging_bytes(qubit_t n) {
+  return std::uint64_t{16} << n;  // sizeof(complex_t) per amplitude
+}
+
+double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m) {
+  const double traffic = 2.0 * static_cast<double>(staging_bytes(n));  // read + write
+  return static_cast<double>(transfers) * traffic / (m.b_mem_gbs * 1e9);
+}
+
+bool resident_session_profitable(std::size_t engine_ops) { return engine_ops > 1; }
+
 }  // namespace qc::models

@@ -14,6 +14,7 @@
 // and the crossover-precision solvers behind Table 2's lower panel.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -140,5 +141,30 @@ double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m);
 /// the saving strictly exceeds the cost.
 bool global_remap_profitable(std::size_t exchanges_avoided,
                              double remap_exchange_cost = 2.0);
+
+// --- host<->ranks staging term (resident sessions, engine/backend) -----
+//
+// Before the distributed state can live on the ranks at all, the engine
+// must stage the host state vector into the per-rank chunks (scatter)
+// and eventually back (gather). One staging copies every amplitude once
+// — 16 bytes each — through host memory. A backend that re-opens the
+// cluster per engine-routed op pays TWO stagings per op; a resident
+// session pays two per Engine::run. These helpers price that
+// difference, and DistBackend reports the actual bytes moved in the
+// per-op engine trace so the win is measurable, not anecdotal.
+
+/// Bytes one host<->ranks staging of a 2^n state moves (16 bytes per
+/// amplitude: each complex_t copied exactly once).
+std::uint64_t staging_bytes(qubit_t n);
+
+/// Seconds for `transfers` stagings of a 2^n state. The copies are
+/// host-local, so they are charged to memory bandwidth (read + write:
+/// 32 bytes of traffic per amplitude per staging), not the network.
+double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m);
+
+/// Resident-session decision rule: a resident distributed state pays 2
+/// stagings per Engine::run instead of 2 per engine-routed op —
+/// profitable as soon as the run has more than one op.
+bool resident_session_profitable(std::size_t engine_ops);
 
 }  // namespace qc::models

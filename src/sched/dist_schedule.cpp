@@ -98,8 +98,39 @@ std::string DistPlan::to_string() const {
   return out.str();
 }
 
+std::vector<std::vector<std::array<qubit_t, 2>>> restore_rounds(std::vector<qubit_t> perm) {
+  const auto n = static_cast<qubit_t>(perm.size());
+  std::vector<qubit_t> inv(n);
+  for (qubit_t q = 0; q < n; ++q) {
+    if (perm[q] >= n) throw std::invalid_argument("restore_rounds: entry out of range");
+    inv[perm[q]] = q;
+  }
+  for (qubit_t q = 0; q < n; ++q)
+    if (perm[inv[q]] != q)
+      throw std::invalid_argument("restore_rounds: not a permutation");
+  std::vector<std::vector<std::array<qubit_t, 2>>> rounds;
+  while (true) {
+    std::vector<std::array<qubit_t, 2>> swaps;
+    index_t used = 0;
+    for (qubit_t p = 0; p < n; ++p) {
+      const qubit_t home = inv[p];
+      if (home == p || bits::test(used, p) || bits::test(used, home)) continue;
+      swaps.push_back({p, home});
+      used = bits::set(bits::set(used, p), home);
+    }
+    if (swaps.empty()) break;
+    for (const auto& s : swaps) {
+      const qubit_t qa = inv[s[0]], qb = inv[s[1]];
+      std::swap(perm[qa], perm[qb]);
+      std::swap(inv[s[0]], inv[s[1]]);
+    }
+    rounds.push_back(std::move(swaps));
+  }
+  return rounds;
+}
+
 DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
-                       const DistScheduleOptions& opts) {
+                       const DistScheduleOptions& opts, std::vector<qubit_t>* perm_io) {
   const qubit_t n = c.qubits();
   const qubit_t nl = local_qubits;
   if (nl == 0 || nl > n)
@@ -113,10 +144,24 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
   std::vector<index_t> masks(gates.size());
   for (std::size_t i = 0; i < gates.size(); ++i) masks[i] = gate_support(gates[i]);
 
-  // perm: logical qubit -> physical position; inv: its inverse.
+  // perm: logical qubit -> physical position; inv: its inverse. A
+  // caller-carried permutation seeds the plan mid-stream.
   std::vector<qubit_t> perm(n), inv(n);
-  std::iota(perm.begin(), perm.end(), qubit_t{0});
-  std::iota(inv.begin(), inv.end(), qubit_t{0});
+  if (perm_io != nullptr) {
+    if (perm_io->size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("dist_schedule: perm_io size must equal qubit count");
+    perm = *perm_io;
+    for (qubit_t q = 0; q < n; ++q) {
+      if (perm[q] >= n) throw std::invalid_argument("dist_schedule: bad perm_io entry");
+      inv[perm[q]] = q;
+    }
+    for (qubit_t q = 0; q < n; ++q)
+      if (perm[inv[q]] != q)
+        throw std::invalid_argument("dist_schedule: perm_io is not a permutation");
+  } else {
+    std::iota(perm.begin(), perm.end(), qubit_t{0});
+    std::iota(inv.begin(), inv.end(), qubit_t{0});
+  }
   const auto commit_swaps = [&](const std::vector<std::array<qubit_t, 2>>& swaps) {
     for (const auto& s : swaps) {
       const qubit_t qa = inv[s[0]], qb = inv[s[1]];
@@ -225,23 +270,20 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
   }
   flush();
 
+  if (perm_io != nullptr) {
+    // Resident caller: leave the state in whatever order planning
+    // reached — the next segment picks it up, and the single restore
+    // happens at gather time.
+    *perm_io = perm;
+    return plan;
+  }
   // Undo all exchanges so the state leaves in logical qubit order; each
   // round is one disjoint transposition set (one chunk permutation).
-  while (true) {
-    std::vector<std::array<qubit_t, 2>> swaps;
-    index_t used = 0;
-    for (qubit_t p = 0; p < n; ++p) {
-      const qubit_t home = inv[p];
-      if (home == p || bits::test(used, p) || bits::test(used, home)) continue;
-      swaps.push_back({p, home});
-      used = bits::set(bits::set(used, p), home);
-    }
-    if (swaps.empty()) break;
+  for (auto& swaps : restore_rounds(perm)) {
     DistPlanItem item;
     item.kind = DistPlanItem::Kind::Exchange;
-    item.swaps = swaps;
+    item.swaps = std::move(swaps);
     plan.items.push_back(std::move(item));
-    commit_swaps(swaps);
   }
   return plan;
 }

@@ -90,10 +90,28 @@ struct DistPlan {
 };
 
 /// Builds the distributed plan for `c` over an nl-qubit local block.
-/// The plan applies the exact same unitary (to rounding) and restores
-/// logical qubit order by plan end.
+/// The plan applies the exact same unitary (to rounding).
+///
+/// Permutation carry (`perm_io`): with the default nullptr the plan is
+/// self-contained — it starts from logical qubit order and appends
+/// exchange items restoring logical order by plan end. A non-null
+/// `perm_io` must hold the current logical->physical qubit permutation
+/// (size n); planning starts from it, the final restore is *skipped*,
+/// and the permutation the state is left in is written back. This is
+/// how the resident dist backend chains gate segments across one
+/// Engine::run: each segment picks up where the previous one left the
+/// qubits, and the single restore happens at gather time
+/// (restore_rounds) instead of once per segment.
 [[nodiscard]] DistPlan dist_schedule(const circuit::Circuit& c, qubit_t local_qubits,
-                                     const DistScheduleOptions& opts = {});
+                                     const DistScheduleOptions& opts = {},
+                                     std::vector<qubit_t>* perm_io = nullptr);
+
+/// Disjoint-transposition rounds returning a state to logical qubit
+/// order from `perm` (logical->physical). Apply round by round via
+/// DistStateVector::apply_qubit_swaps; each round is one chunk
+/// permutation. Identity permutations yield zero rounds.
+[[nodiscard]] std::vector<std::vector<std::array<qubit_t, 2>>> restore_rounds(
+    std::vector<qubit_t> perm);
 
 /// Collective: executes a plan on a distributed state (dsv's qubit
 /// split must match the plan's). Local items run execute_blocked on the

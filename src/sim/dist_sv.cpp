@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "sim/sampling.hpp"
@@ -278,11 +279,40 @@ std::vector<double> DistStateVector::register_distribution(qubit_t offset,
                                                            qubit_t width) const {
   if (offset + width > n_)
     throw std::invalid_argument("register_distribution: bad register");
+  std::vector<qubit_t> qubits(width);
+  std::iota(qubits.begin(), qubits.end(), offset);
+  return register_distribution(std::span<const qubit_t>(qubits));
+}
+
+std::vector<double> DistStateVector::register_distribution(
+    std::span<const qubit_t> qubits) const {
+  const auto width = static_cast<qubit_t>(qubits.size());
+  index_t seen = 0;
+  for (const qubit_t q : qubits) {
+    if (q >= n_ || bits::test(seen, q))
+      throw std::invalid_argument("register_distribution: qubits must be distinct, < n");
+    seen = bits::set(seen, q);
+  }
+  // Split the register into its local bits (vary within the chunk) and
+  // its global bits (constant across the chunk: read from the rank id),
+  // so the inner loop only gathers the varying part.
+  index_t rank_part = 0;
+  std::vector<std::array<qubit_t, 2>> local_bits;  // {physical, outcome bit}
+  const auto rank = static_cast<index_t>(comm_->rank());
+  for (qubit_t j = 0; j < width; ++j) {
+    if (qubits[j] < nl_) {
+      local_bits.push_back({qubits[j], j});
+    } else if (bits::test(rank, qubits[j] - nl_)) {
+      rank_part = bits::set(rank_part, j);
+    }
+  }
   std::vector<double> dist(dim(width), 0.0);
-  const index_t base = static_cast<index_t>(comm_->rank()) << nl_;
-  for (index_t i = 0; i < local_.size(); ++i)
-    dist[bits::field(base | i, offset, width)] += std::norm(local_[i]);
-  // Elementwise allreduce: gather every rank's partial histogram, sum.
+  for (index_t i = 0; i < local_.size(); ++i) {
+    index_t outcome = rank_part;
+    for (const auto& [phys, bit] : local_bits)
+      if (bits::test(i, phys)) outcome = bits::set(outcome, bit);
+    dist[outcome] += std::norm(local_[i]);
+  }
   std::vector<double> all(dist.size() * static_cast<std::size_t>(comm_->size()));
   comm_->allgather<double>(dist, all);
   std::fill(dist.begin(), dist.end(), 0.0);

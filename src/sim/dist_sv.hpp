@@ -84,6 +84,14 @@ class DistStateVector {
   /// returns the identical full 2^width vector.
   [[nodiscard]] std::vector<double> register_distribution(qubit_t offset, qubit_t width) const;
 
+  /// Collective: marginal distribution over an *arbitrary* set of
+  /// physical qubit positions — bit j of each outcome index reads
+  /// physical qubit `qubits[j]`. This is how a caller holding a live
+  /// logical->physical permutation (the resident dist backend) measures
+  /// a logical register without first restoring physical qubit order.
+  [[nodiscard]] std::vector<double> register_distribution(
+      std::span<const qubit_t> qubits) const;
+
   /// Collective: samples a full-register outcome (global basis index)
   /// from the exact distribution; does not collapse. Every rank must
   /// pass an identically-seeded rng (exactly one uniform draw is

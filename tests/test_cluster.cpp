@@ -289,6 +289,131 @@ TEST(Cluster, ManyRanksStress) {
   });
 }
 
+// --- persistent session lifecycle --------------------------------------
+
+TEST(ClusterSession, RankLocalStateSurvivesAcrossJobs) {
+  // Three submissions against the same parked ranks; each rank's slot
+  // accumulates across jobs — the residency contract DistBackend
+  // builds on.
+  const int p = 4;
+  ClusterSession session(p, 1);
+  std::vector<int> slots(static_cast<std::size_t>(p), 0);
+  session.submit([&](Comm& comm) { slots[static_cast<std::size_t>(comm.rank())] = comm.rank(); });
+  session.submit([&](Comm& comm) { slots[static_cast<std::size_t>(comm.rank())] += 10; });
+  int total = -1;
+  session.submit([&](Comm& comm) {
+    const int x = comm.allreduce_sum(slots[static_cast<std::size_t>(comm.rank())]);
+    if (comm.rank() == 0) total = x;
+  });
+  session.sync();
+  EXPECT_EQ(total, 0 + 1 + 2 + 3 + 4 * 10);
+  for (int r = 0; r < p; ++r) EXPECT_EQ(slots[static_cast<std::size_t>(r)], r + 10);
+}
+
+TEST(ClusterSession, SubmitReturnsBeforeExecution) {
+  ClusterSession session(2, 1);
+  std::atomic<bool> go{false};
+  std::atomic<int> ran{0};
+  session.submit([&](Comm& comm) {
+    while (!go.load()) std::this_thread::yield();
+    comm.barrier();
+    ++ran;
+  });
+  // submit() returned while every rank is still spinning on `go`.
+  EXPECT_EQ(ran.load(), 0);
+  go.store(true);
+  session.sync();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ClusterSession, AbortInOneJobLeavesSessionUsable) {
+  ClusterSession session(3, 1);
+  session.submit([](Comm& comm) {
+    if (comm.rank() == 0) throw std::runtime_error("job1 died");
+    // Peers block until the abort wakes them with ClusterAborted.
+    std::vector<int> v(1);
+    comm.recv<int>(0, v);
+  });
+  EXPECT_THROW(session.sync(), std::runtime_error);
+  // The session recovered: the next job runs on a clean substrate
+  // (abort flag cleared, mailboxes drained, barrier reset).
+  int total = -1;
+  session.submit([&](Comm& comm) {
+    comm.barrier();
+    const int x = comm.allreduce_sum(1);
+    if (comm.rank() == 0) total = x;
+  });
+  session.sync();
+  EXPECT_EQ(total, 3);
+}
+
+TEST(ClusterSession, JobsQueuedBehindAFailureAreSkipped) {
+  ClusterSession session(2, 1);
+  std::atomic<int> ran{0};
+  session.submit([](Comm&) { throw std::logic_error("boom"); });
+  session.submit([&](Comm&) { ++ran; });  // same batch: must not execute
+  EXPECT_THROW(session.sync(), std::logic_error);
+  EXPECT_EQ(ran.load(), 0);
+  session.submit([&](Comm&) { ++ran; });  // next batch: runs again
+  session.sync();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ClusterSession, SyncPrefersRootCauseOverClusterAborted) {
+  ClusterSession session(4, 1);
+  session.submit([](Comm& comm) {
+    if (comm.rank() == 2) throw std::invalid_argument("root cause");
+    comm.barrier();  // everyone else dies of ClusterAborted
+  });
+  EXPECT_THROW(session.sync(), std::invalid_argument);
+}
+
+TEST(ClusterSession, NestedSubmitThrows) {
+  ClusterSession session(2, 1);
+  session.submit([&](Comm&) {
+    // Inside a job every rank would enqueue a copy — must throw, and
+    // the throw aborts the batch like any job failure.
+    session.submit([](Comm&) {});
+  });
+  EXPECT_THROW(session.sync(), std::logic_error);
+}
+
+TEST(ClusterSession, NestedSyncThrows) {
+  ClusterSession session(2, 1);
+  session.submit([&](Comm&) { session.sync(); });
+  EXPECT_THROW(session.sync(), std::logic_error);
+}
+
+TEST(ClusterSession, DestructorJoinsParkedRanks) {
+  // Never-submitted, submitted-but-unsynced, and failed-but-unsynced
+  // sessions must all join their parked ranks without deadlock.
+  { ClusterSession idle(8, 1); }
+  {
+    ClusterSession busy(4, 1);
+    busy.submit([](Comm& comm) { comm.barrier(); });
+  }
+  {
+    ClusterSession failed(2, 1);
+    failed.submit([](Comm&) { throw std::runtime_error("dropped on the floor"); });
+  }
+  SUCCEED();
+}
+
+TEST(ClusterSession, OversubscribedSessionReuse) {
+  // More ranks than any test machine has cores, reused across jobs.
+  const int p = 32;
+  ClusterSession session(p, 1);
+  for (int job = 0; job < 3; ++job) {
+    int sum = -1;
+    session.submit([&, job](Comm& comm) {
+      const int x = comm.allreduce_sum(comm.rank() + job);
+      if (comm.rank() == 0) sum = x;
+    });
+    session.sync();
+    EXPECT_EQ(sum, p * (p - 1) / 2 + p * job);
+  }
+}
+
 TEST(Cluster, OversubscribedRanksStress) {
   // Far more ranks than any test machine has cores: the runtime must
   // stay correct under heavy thread contention (the CI matrix runs this

@@ -3,6 +3,8 @@
 // emulator / serial gate-level results.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "circuit/builders.hpp"
 #include "emu/dist_emu.hpp"
 #include "emu/observables.hpp"
@@ -188,6 +190,48 @@ TEST(DistEmulator, PermutationPreservesNorm) {
     demu.apply_permutation([mask](index_t i) { return (i * 13 + 7) & mask; });
     EXPECT_NEAR(dsv.norm_sq(), 1.0, 1e-12);
   });
+}
+
+TEST(DistEmulator, ResidentStateAcrossSessionJobs) {
+  // Distributed emulation through a persistent session: the per-rank
+  // state is constructed in one submitted job and *stays resident*
+  // across further submissions (arithmetic, QFT round trip, readout) —
+  // the ownership model the dist backend runs on, with no per-job
+  // scatter or gather.
+  const qubit_t n = 9;
+  const int ranks = 4;
+  const index_t mask = bits::low_mask(n);
+
+  StateVector serial(n);
+  serial.randomize_deterministic(606);
+  Emulator semu(serial);
+  semu.apply_permutation([mask](index_t i) { return (i * 9 + 5) & mask; });
+
+  cluster::ClusterSession session(ranks, 1);
+  std::vector<std::unique_ptr<DistStateVector>> slots(ranks);
+  session.submit([&](cluster::Comm& comm) {
+    auto dsv = std::make_unique<DistStateVector>(comm, n);
+    dsv->randomize(606);
+    slots[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
+  });
+  session.submit([&](cluster::Comm& comm) {
+    DistEmulator demu(*slots[static_cast<std::size_t>(comm.rank())]);
+    demu.apply_permutation([mask](index_t i) { return (i * 9 + 5) & mask; });
+  });
+  session.submit([&](cluster::Comm& comm) {
+    DistEmulator demu(*slots[static_cast<std::size_t>(comm.rank())]);
+    demu.qft();
+    demu.inverse_qft();
+  });
+  double diff = -1;
+  session.submit([&](cluster::Comm& comm) {
+    const StateVector gathered =
+        slots[static_cast<std::size_t>(comm.rank())]->gather_all();
+    if (comm.rank() == 0) diff = gathered.max_abs_diff(serial);
+  });
+  session.sync();
+  EXPECT_GE(diff, 0.0);
+  EXPECT_LT(diff, 1e-11);
 }
 
 TEST(DistObservables, ExpectationZStringMatchesSerial) {

@@ -127,6 +127,40 @@ TEST(DistFft, StatsArePopulated) {
   EXPECT_GT(stats.total(), 0.0);
 }
 
+TEST(DistFft, ResidentChunksAcrossSessionJobs) {
+  // The six-step FFT run twice (forward then inverse) as two separate
+  // session jobs against rank-local chunks that stay resident between
+  // submissions — how the distributed QFT executes under the resident
+  // dist backend.
+  const qubit_t n = 10;
+  const int p = 4;
+  const auto signal = random_signal(index_t{1} << n, 99);
+
+  cluster::ClusterSession session(p, 1);
+  const index_t chunk = (index_t{1} << n) / p;
+  std::vector<aligned_vector<complex_t>> locals(static_cast<std::size_t>(p));
+  session.submit([&](cluster::Comm& comm) {
+    auto& local = locals[static_cast<std::size_t>(comm.rank())];
+    local.assign(signal.begin() + static_cast<std::ptrdiff_t>(comm.rank() * chunk),
+                 signal.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
+  });
+  session.submit([&](cluster::Comm& comm) {
+    auto& local = locals[static_cast<std::size_t>(comm.rank())];
+    dist_fft(comm, {local.data(), local.size()}, n, Sign::Negative, Norm::Unitary);
+  });
+  session.submit([&](cluster::Comm& comm) {
+    auto& local = locals[static_cast<std::size_t>(comm.rank())];
+    dist_fft(comm, {local.data(), local.size()}, n, Sign::Positive, Norm::Unitary);
+  });
+  session.sync();
+  for (int r = 0; r < p; ++r) {
+    const auto& local = locals[static_cast<std::size_t>(r)];
+    EXPECT_LT(max_diff(local, std::span<const complex_t>(
+                                  signal.data() + static_cast<std::size_t>(r) * chunk, chunk)),
+              1e-11);
+  }
+}
+
 TEST(DistFft, RejectsTooManyRanks) {
   // n = 4 -> C = 4; 8 ranks cannot divide the columns.
   cluster::Cluster cluster(8, 1);

@@ -5,6 +5,8 @@
 // (paper Eq. 6 / Fig. 4), and plan-structure sanity.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "circuit/builders.hpp"
 #include "models/perf_model.hpp"
 #include "sched/dist_schedule.hpp"
@@ -143,6 +145,76 @@ TEST(DistSchedule, RemappedSweepsCommunicateLessThanPerGateExchange) {
   EXPECT_LT(bytes_plan, bytes_pergate);
 }
 
+TEST(DistSchedule, PermCarryAcrossSegmentsMatchesSerial) {
+  // The resident-session contract: split a circuit into segments, plan
+  // each with the carried permutation (no per-segment restore), run the
+  // chained plans on one resident state, restore once at the end — the
+  // result must match planning/running the whole circuit at once.
+  const qubit_t n = 9;
+  const int ranks = 4;
+  const auto nl = static_cast<qubit_t>(n - 2);
+  Rng rng(12);
+  const Circuit whole = circuit::random_circuit(n, 60, rng);
+  std::vector<Circuit> segments;
+  for (std::size_t start = 0; start < whole.size(); start += 20) {
+    Circuit seg(n);
+    for (std::size_t i = start; i < std::min(whole.size(), start + 20); ++i)
+      seg.append(whole.gates()[i]);
+    segments.push_back(std::move(seg));
+  }
+  ASSERT_GE(segments.size(), 3u);
+
+  StateVector serial(n);
+  serial.randomize_deterministic(777);
+  sim::HpcSimulator().run(serial, whole);
+
+  std::vector<qubit_t> perm(n);
+  std::iota(perm.begin(), perm.end(), qubit_t{0});
+  std::vector<DistPlan> plans;
+  for (const Circuit& seg : segments) plans.push_back(dist_schedule(seg, nl, {}, &perm));
+  const auto rounds = restore_rounds(perm);
+
+  double diff = -1;
+  cluster::Cluster cluster(ranks, 1);
+  cluster.run([&](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.randomize(777);
+    for (const DistPlan& plan : plans) run_dist_plan(dsv, plan, CommPolicy::Specialized);
+    for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
+    const StateVector gathered = dsv.gather_all();
+    if (comm.rank() == 0) diff = gathered.max_abs_diff(serial);
+  });
+  EXPECT_LT(diff, 1e-12);
+}
+
+TEST(DistSchedule, PermCarrySkipsPerSegmentRestores) {
+  // On a global-heavy circuit the self-contained plan must end with
+  // restore exchanges; the carried-perm plan defers them to the caller.
+  const qubit_t n = 10;
+  const qubit_t nl = 8;
+  const Circuit c = global_heavy_circuit(n);
+  const DistPlan self_contained = dist_schedule(c, nl, {});
+  std::vector<qubit_t> perm(n);
+  std::iota(perm.begin(), perm.end(), qubit_t{0});
+  const DistPlan carried = dist_schedule(c, nl, {}, &perm);
+  EXPECT_LT(carried.exchanges(), self_contained.exchanges());
+  // The carried plan left the state permuted; restore_rounds knows how
+  // to get back, and a straight identity needs no rounds at all.
+  EXPECT_FALSE(restore_rounds(perm).empty());
+  std::vector<qubit_t> identity(n);
+  std::iota(identity.begin(), identity.end(), qubit_t{0});
+  EXPECT_TRUE(restore_rounds(identity).empty());
+}
+
+TEST(DistSchedule, RestoreRoundsValidatesPermutation) {
+  EXPECT_THROW((void)restore_rounds({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)restore_rounds({0, 5}), std::invalid_argument);
+  // A 3-cycle resolves in a finite number of disjoint-swap rounds.
+  const auto rounds = restore_rounds({1, 2, 0});
+  EXPECT_FALSE(rounds.empty());
+  EXPECT_LE(rounds.size(), 2u);
+}
+
 TEST(DistSchedule, SingleRankPlanIsAllLocal) {
   Rng rng(8);
   const Circuit c = circuit::random_circuit(8, 40, rng);
@@ -157,6 +229,22 @@ TEST(DistSchedule, RejectsBadLocalWidth) {
   c.h(0);
   EXPECT_THROW((void)dist_schedule(c, 0, {}), std::invalid_argument);
   EXPECT_THROW((void)dist_schedule(c, 5, {}), std::invalid_argument);
+}
+
+TEST(PerfModel, HostStagingTermAndResidentGate) {
+  const models::MachineParams m = models::MachineParams::stampede();
+  // One staging copies 16 bytes/amplitude; doubling n doubles both the
+  // bytes and the time, and k transfers cost k times one.
+  EXPECT_EQ(models::staging_bytes(20), std::uint64_t{16} << 20);
+  EXPECT_EQ(models::staging_bytes(21), 2 * models::staging_bytes(20));
+  const double t1 = models::t_host_staging_seconds(20, 1, m);
+  EXPECT_GT(t1, 0);
+  EXPECT_NEAR(models::t_host_staging_seconds(20, 4, m), 4 * t1, 1e-15);
+  EXPECT_NEAR(models::t_host_staging_seconds(21, 1, m), 2 * t1, 1e-15);
+  // A resident session (2 stagings per run vs 2 per op) pays off for
+  // any multi-op program.
+  EXPECT_FALSE(models::resident_session_profitable(1));
+  EXPECT_TRUE(models::resident_session_profitable(2));
 }
 
 TEST(PerfModel, Eq6ExchangeTermAndRemapGate) {

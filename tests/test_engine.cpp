@@ -10,6 +10,7 @@
 
 #include "emu/observables.hpp"
 #include "engine/engine.hpp"
+#include "models/perf_model.hpp"
 
 namespace qc::engine {
 namespace {
@@ -416,6 +417,122 @@ TEST(DistBackend, LoweredHighLevelProgramRunsDistributed) {
   Program p(6);
   p.h(0).h(1).h(2).h(3).add({0, 2}, {2, 2}).multiply({0, 2}, {2, 2}, {4, 2}).measure({4, 2});
   expect_backends_agree(p, "dist");
+}
+
+/// A mixed program that forces op boundaries between every gate
+/// segment: gates + Measure + ExpectationZ interleaved, which before
+/// persistent sessions paid a scatter + gather per engine-routed op.
+Program mixed_program(qubit_t n) {
+  Program p(n);
+  Circuit seg2(n), seg3(n);
+  seg2.h(n - 1).cnot(0, n - 1).rz(n - 2, 0.7);
+  seg3.rx(1, 0.3).cr(1, n - 1, 0.9).h(0);
+  p.gates(prep_circuit(n))
+      .expectation_z(0b101)
+      .gates(seg2)
+      .measure({0, 2})
+      .gates(seg3)
+      .expectation_z(bits::low_mask(n))
+      .measure({static_cast<qubit_t>(n - 3), 3});
+  return p;
+}
+
+TEST(DistBackend, ResidentMixedProgramAgreesWithHpc) {
+  const qubit_t n = 9;
+  const Program p = mixed_program(n);
+  RunOptions hpc_opts;
+  hpc_opts.backend = "hpc";
+  hpc_opts.seed = 23;
+  const Result ref = Engine().run(p, hpc_opts);
+  for (const int ranks : {2, 4, 8}) {
+    RunOptions opts;
+    opts.backend = "dist";
+    opts.seed = 23;
+    opts.dist_ranks = ranks;
+    const Result r = Engine().run(p, opts);
+    EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12) << "ranks=" << ranks;
+    EXPECT_EQ(r.measurements, ref.measurements) << "ranks=" << ranks;
+    ASSERT_EQ(r.expectations.size(), ref.expectations.size());
+    for (std::size_t i = 0; i < r.expectations.size(); ++i)
+      EXPECT_NEAR(r.expectations[i], ref.expectations[i], 1e-12) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistBackend, ResidentMeasurementStreamBitIdenticalToCached) {
+  // Seed determinism across state layouts: the resident distributed
+  // run must record the exact same outcome indices as the serial
+  // cache-blocked backend for one seed.
+  const qubit_t n = 9;
+  const Program p = mixed_program(n);
+  RunOptions cached_opts;
+  cached_opts.backend = "cached";
+  cached_opts.seed = 77;
+  const Result ref = Engine().run(p, cached_opts);
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.seed = 77;
+  opts.dist_ranks = 4;
+  const Result r = Engine().run(p, opts);
+  EXPECT_EQ(r.measurements, ref.measurements);
+}
+
+TEST(DistBackend, PerOpBaselineStillAgrees) {
+  // dist_resident=false reproduces the pre-session per-op
+  // scatter/gather behaviour; it must stay correct (it is the bench
+  // baseline the resident session is measured against).
+  const qubit_t n = 8;
+  const Program p = mixed_program(n);
+  RunOptions hpc_opts;
+  hpc_opts.backend = "hpc";
+  hpc_opts.seed = 5;
+  const Result ref = Engine().run(p, hpc_opts);
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.seed = 5;
+  opts.dist_ranks = 4;
+  opts.dist_resident = false;
+  const Result r = Engine().run(p, opts);
+  EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12);
+  EXPECT_EQ(r.measurements, ref.measurements);
+}
+
+TEST(DistBackend, ResidentRunStagesHostStateExactlyTwice) {
+  // The acceptance criterion: a multi-op 20-qubit program on the dist
+  // backend performs exactly ONE scatter (on the first op that needs
+  // the distributed state) and at most ONE gather (the trailing
+  // "[finalize]" row), asserted through the engine trace's byte
+  // counters. The per-op baseline pays both on every op.
+  const qubit_t n = 20;
+  Program p(n);
+  Circuit seg1(n), seg2(n), seg3(n);
+  seg1.h(0).h(n - 1).cnot(0, n - 1);
+  seg2.rz(n - 1, 0.25).h(1).cr(1, n - 2, 0.5);
+  seg3.h(n - 2).cnot(1, 2);
+  p.gates(seg1).expectation_z(0b11).gates(seg2).measure({0, 2}).gates(seg3);
+  const std::uint64_t staging = models::staging_bytes(n);
+
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  const Result r = Engine().run(p, opts);
+  // One scatter on the first op, nothing in between, one gather at
+  // finalize — and the whole-run totals agree with the trace columns.
+  ASSERT_EQ(r.trace.size(), p.size() + 1);  // + "[finalize]"
+  EXPECT_EQ(r.trace.front().host_bytes, staging);
+  for (std::size_t i = 1; i < r.trace.size() - 1; ++i)
+    EXPECT_EQ(r.trace[i].host_bytes, 0u) << "op " << r.trace[i].op;
+  EXPECT_EQ(r.trace.back().op, "[finalize]");
+  EXPECT_EQ(r.trace.back().host_bytes, staging);
+  EXPECT_EQ(r.host_bytes, 2 * staging);
+
+  RunOptions baseline = opts;
+  baseline.dist_resident = false;
+  const Result b = Engine().run(p, baseline);
+  // The pre-session cost: every mutating op (3 gate segments + the
+  // collapsing measure) pays a scatter AND a gather; the read-only
+  // ExpectationZ pays only its scatter.
+  EXPECT_EQ(b.host_bytes, staging * (2 * 4 + 1));
+  EXPECT_LT(b.state.max_abs_diff(r.state), 1e-12);
 }
 
 TEST(DistBackend, RejectsNonPow2Ranks) {
