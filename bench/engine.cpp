@@ -9,12 +9,15 @@
 // expected >= 5x faster than "hpc" end to end.
 //
 // Run: ./bench_engine [--qubits 20] [--backends auto,hpc,fused] [--reps 3]
+//      [--metrics]  — re-run each backend once with tracing on and embed
+//                     the flat obs metrics (spans/lanes/imbalance) per run
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "engine/engine.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const qubit_t n = static_cast<qubit_t>(cli.get_int("qubits", 20));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const bool metrics = cli.has("metrics");
   const std::vector<std::string> backends =
       split_names(cli.get_string("backends", "auto,hpc,fused"));
 
@@ -87,7 +91,16 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < best.trace.size(); ++i)
       std::printf("%s{\"op\": \"%s\", \"seconds\": %.6f}", i ? ", " : "",
                   json_escape(best.trace[i].op).c_str(), best.trace[i].seconds);
-    std::printf("]}%s\n", b + 1 < backends.size() ? "," : "");
+    std::printf("]");
+    if (metrics) {
+      // One extra traced run (kept out of the headline best-of-reps so
+      // the timing numbers never include instrumentation).
+      opts.trace = true;
+      const engine::Result traced = eng.run(program, opts);
+      if (traced.trace_data != nullptr)
+        std::printf(", \"metrics\": %s", obs::metrics_json(*traced.trace_data).c_str());
+    }
+    std::printf("}%s\n", b + 1 < backends.size() ? "," : "");
   }
   std::printf("  ]");
   if (total_auto > 0 && total_hpc > 0)

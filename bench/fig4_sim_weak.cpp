@@ -17,10 +17,14 @@
 // resident-session win, measured rather than asserted.
 //
 // Usage: fig4_sim_weak [--local-qubits L] [--max-ranks P] [--json FILE]
-//                      [--full]
+//                      [--metrics [FILE]] [--full]
 //   --json: write machine-readable per-point timings + communication
 //           volumes (the CI bench-smoke step uploads this as
 //           BENCH_pr5.json alongside PR 3's blocking ablation)
+//   --metrics: re-run the largest engine point with tracing on, print
+//           the span summary + model-drift report (predicted vs
+//           measured sweep/exchange time), and — given a FILE — write
+//           the flat metrics JSON there
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -29,6 +33,7 @@
 #include "circuit/builders.hpp"
 #include "common/parallel.hpp"
 #include "engine/engine.hpp"
+#include "obs/report.hpp"
 #include "sched/dist_schedule.hpp"
 #include "sim/dist_sv.hpp"
 
@@ -241,6 +246,40 @@ int main(int argc, char** argv) {
       "program (QFT in 4 gate segments + interleaved ExpectationZ + Measure);\n"
       "the resident run stages the host state exactly twice, the per-op\n"
       "baseline twice per mutating op plus once per read-only op");
+
+  if (cli.has("metrics")) {
+    // One traced run of the largest engine point: the per-rank lane
+    // breakdown plus the model-validation report (sweep memory time vs
+    // models::t_state_pass_seconds, Eq. 6 chunk-exchange time vs
+    // models::t_chunk_exchange_seconds).
+    const qubit_t n =
+        static_cast<qubit_t>(local_qubits) +
+        bits::log2_floor(static_cast<index_t>(max_ranks));
+    engine::RunOptions opts;
+    opts.backend = "dist";
+    opts.dist_ranks = static_cast<int>(max_ranks);
+    opts.collapse_measurements = false;
+    opts.trace = true;
+    const engine::Result traced = engine::Engine().run(engine_program(n), opts);
+    if (traced.trace_data != nullptr) {
+      const obs::TraceData& data = *traced.trace_data;
+      obs::summary_table(data).print("traced dist run — span summary");
+      obs::model_report_table(obs::model_report(data))
+          .print("model drift: measured vs predicted (drift > 1: model optimistic)");
+      std::printf("load imbalance (max/mean rank exec - 1): %.3f\n",
+                  obs::load_imbalance(data));
+      const std::string metrics_path = cli.get_string("metrics", "");
+      if (!metrics_path.empty()) {
+        std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+        if (f != nullptr) {
+          const std::string json = obs::metrics_json(data);
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("wrote %s\n", metrics_path.c_str());
+        }
+      }
+    }
+  }
 
   if (!json_path.empty())
     write_json(json_path, static_cast<qubit_t>(local_qubits), rows, engine_rows);

@@ -4,19 +4,47 @@
 //     (arithmetic, QFT, measurement — the paper's §3 shortcuts);
 //  2. run it on the "auto" backend: high-level ops execute at their
 //     mathematical description, gate segments on the fused simulator;
-//  3. run the *same program* on a gate-level backend ("hpc"): the engine
-//     lowers every shortcut to a reversible network first — and the
-//     states agree to 1e-12 (the paper's core contract);
+//  3. run the *same program* on a gate-level backend (default "hpc"):
+//     the engine lowers every shortcut to a reversible network first —
+//     and the states agree to 1e-12 (the paper's core contract);
 //  4. read the per-op wall-clock trace that makes the emulation-vs-
 //     simulation gap visible.
 //
 // Run: ./quickstart
+//      ./quickstart --backend dist --ranks 4 --trace trace.json
+//
+// Options:
+//   --backend NAME   gate-level comparison backend (default hpc)
+//   --ranks N        rank count for --backend dist (default 4)
+//   --trace FILE     write a Chrome trace_event JSON of the gate-level
+//                    run (open in about:tracing / Perfetto) and print
+//                    the span summary + model-drift report
+//   --metrics FILE   write the flat metrics JSON of the same run
 #include <cstdio>
+#include <string>
 
+#include "common/cli.hpp"
 #include "engine/engine.hpp"
+#include "obs/report.hpp"
 
-int main() {
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace qc;
+  const Cli cli(argc, argv);
+  const std::string backend = cli.get_string("backend", "hpc");
+  const std::string trace_file = cli.get_string("trace", "");
+  const std::string metrics_file = cli.get_string("metrics", "");
 
   // --- 1. one program, gate-level and high-level ops mixed -------------
   const qubit_t n = 6;
@@ -43,11 +71,13 @@ int main() {
   // The engine lowers multiply to the Cuccaro shift-and-add network
   // (plus a carry ancilla it appends and projects away) and the QFTs to
   // the O(n^2) gate cascade. Same seed, same outcomes, same state.
-  opts.backend = "hpc";
+  opts.backend = backend;
+  opts.dist_ranks = static_cast<int>(cli.get_int("ranks", 4));
+  opts.trace = !trace_file.empty() || !metrics_file.empty();
   const engine::Result simulated = eng.run(program, opts);
-  std::printf("hpc backend:  <Z0 Z1> = %+.3f, measured a = %llu "
+  std::printf("%s backend:  <Z0 Z1> = %+.3f, measured a = %llu "
               "(ran on %u qubits incl. ancillas)\n",
-              simulated.expectations[0],
+              backend.c_str(), simulated.expectations[0],
               static_cast<unsigned long long>(simulated.measurements[0]),
               simulated.run_qubits);
   const double diff = emulated.state.max_abs_diff(simulated.state);
@@ -58,15 +88,41 @@ int main() {
   for (const engine::OpTrace& t : emulated.trace)
     std::printf("  %-28s %9.6f s\n", t.op.c_str(), t.seconds);
 
+  // --- 5. structured trace exports (--trace / --metrics) ----------------
+  if (simulated.trace_data != nullptr) {
+    const obs::TraceData& data = *simulated.trace_data;
+    if (!trace_file.empty()) {
+      if (!write_file(trace_file, obs::chrome_trace_json(data))) {
+        std::printf("cannot write %s\n", trace_file.c_str());
+        return 1;
+      }
+      std::printf("\nwrote Chrome trace (%zu spans) to %s\n", data.spans.size(),
+                  trace_file.c_str());
+      std::printf("\nspan summary (%s backend):\n%s", backend.c_str(),
+                  obs::summary_table(data).to_string().c_str());
+      const auto rows = obs::model_report(data);
+      if (!rows.empty())
+        std::printf("\nmodel drift (measured vs predicted):\n%s",
+                    obs::model_report_table(rows).to_string().c_str());
+    }
+    if (!metrics_file.empty()) {
+      if (!write_file(metrics_file, obs::metrics_json(data))) {
+        std::printf("cannot write %s\n", metrics_file.c_str());
+        return 1;
+      }
+      std::printf("wrote metrics JSON to %s\n", metrics_file.c_str());
+    }
+  }
+
   std::printf("\nregistered backends:");
   for (const std::string& name : engine::backend_names())
     std::printf(" %s", name.c_str());
   std::printf("\n");
 
   if (diff > 1e-12 || emulated.measurements[0] != simulated.measurements[0]) {
-    std::printf("MISMATCH between auto and hpc backends\n");
+    std::printf("MISMATCH between auto and %s backends\n", backend.c_str());
     return 1;
   }
-  std::printf("ok: auto and hpc agree to 1e-12\n");
+  std::printf("ok: auto and %s agree to 1e-12\n", backend.c_str());
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/parallel.hpp"
+#include "common/timer.hpp"
 
 namespace qc::cluster {
 
@@ -61,6 +62,9 @@ void Comm::recv_bytes(int src, std::span<std::byte> data, int tag) {
 }
 
 void Comm::barrier() {
+  // Barrier wait is where load imbalance hides: the per-lane sum of
+  // these spans is the time this rank spent waiting for slower peers.
+  obs::Span wait_span("cluster.barrier");
   detail::Barrier& b = state_->barrier;
   std::unique_lock lock(b.mutex);
   if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
@@ -144,10 +148,16 @@ void ClusterSession::worker(int rank) {
   // kernels divide rather than oversubscribe the machine.
   omp_set_num_threads(omp_threads_per_rank_);
   detail::session_worker = this;
+  obs::set_thread_lane(rank + 1);  // lane 0 = driver, rank r = lane r+1
   Comm comm(rank, state_.get());
   for (std::size_t j = 0;; ++j) {
     bool skip = false;
-    const std::function<void(Comm&)>* job = nullptr;
+    const Job* job = nullptr;
+    // Park time is measured unconditionally (one steady-clock read) and
+    // emitted *retroactively* once a job arrives and a tracer is known
+    // to be installed — a parked rank never holds an open span, so a
+    // Tracer can be collected and destroyed while ranks are parked.
+    WallTimer park;
     {
       std::unique_lock lock(mutex_);
       // Jobs run in lockstep: job j starts only once job j-1 finished
@@ -160,10 +170,16 @@ void ClusterSession::worker(int rank) {
       job = &jobs_[j];
       skip = failed_batch_;
     }
+    obs::emit_interval("cluster.park", park.seconds(), 0);
     std::exception_ptr err;
     if (!skip) {
+      // Parented under the span the *submitting* thread had open — the
+      // cross-thread stitch that nests rank work under its engine op.
+      obs::Span job_span("cluster.job", job->parent);
+      job_span.arg("job", static_cast<double>(j));
+      job_span.arg("rank", static_cast<double>(rank));
       try {
-        (*job)(comm);
+        (job->fn)(comm);
       } catch (...) {
         err = std::current_exception();
         state_->abort_all();
@@ -215,7 +231,9 @@ void ClusterSession::submit(std::function<void(Comm&)> fn) {
         "would enqueue a copy)");
   {
     std::lock_guard lock(mutex_);
-    jobs_.push_back(std::move(fn));
+    // Capture the submitter's open span so every rank's job span nests
+    // under the engine op (or whatever) that submitted the work.
+    jobs_.push_back(Job{std::move(fn), obs::current_span()});
   }
   cv_.notify_all();
 }

@@ -43,6 +43,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace qc::cluster {
 
 /// Thrown in blocked ranks when a peer rank failed.
@@ -309,6 +311,15 @@ class ClusterSession {
   void run(const std::function<void(Comm&)>& fn);
 
  private:
+  /// One queued closure plus the trace context it was submitted under:
+  /// the submitting thread's open span becomes the parent of every
+  /// rank's "cluster.job" span, stitching rank-lane work under the
+  /// engine op that caused it.
+  struct Job {
+    std::function<void(Comm&)> fn;
+    obs::span_id parent = 0;
+  };
+
   void worker(int rank);
   /// Post-failure cleanup (session mutex held, all ranks parked): clear
   /// the abort flag, drain every mailbox, reset the barrier.
@@ -325,7 +336,7 @@ class ClusterSession {
   /// jobs_[j] outside the mutex, and deque push_back never invalidates
   /// references to existing elements while a concurrent submit() grows
   /// the log.
-  std::deque<std::function<void(Comm&)>> jobs_;
+  std::deque<Job> jobs_;
   std::size_t completed_ = 0;  ///< Jobs finished (all ranks + recovery).
   int done_in_current_ = 0;    ///< Ranks done with job `completed_`.
   bool failed_batch_ = false;  ///< Skip queued jobs until the next sync().

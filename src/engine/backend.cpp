@@ -11,6 +11,7 @@
 #include "emu/observables.hpp"
 #include "fuse/fused_simulator.hpp"
 #include "models/perf_model.hpp"
+#include "obs/trace.hpp"
 #include "sched/cached_simulator.hpp"
 #include "sched/dist_schedule.hpp"
 #include "sim/sampling.hpp"
@@ -152,6 +153,7 @@ class DistBackend final : public Backend {
       sched::run_dist_plan(*slots_[static_cast<std::size_t>(comm.rank())], plan, policy_);
     });
     session_->sync();
+    snapshot_net();
     if (!resident_mode_) flush_to_host();
   }
 
@@ -174,6 +176,7 @@ class DistBackend final : public Backend {
         dsv.collapse(phys[j], bits::test(o, static_cast<qubit_t>(j)) ? 1 : 0);
     });
     session_->sync();
+    snapshot_net();
     // Per-op baseline fidelity: the pre-session code gathered only when
     // the op mutated the state — a read-only measure pays its scatter
     // and drops the chunks.
@@ -201,6 +204,7 @@ class DistBackend final : public Backend {
       if (comm.rank() == 0) value = v;
     });
     session_->sync();
+    snapshot_net();
     if (!resident_mode_) discard_resident();  // read-only: no gather
     return value;
   }
@@ -209,13 +213,12 @@ class DistBackend final : public Backend {
     if (resident_ && host_ == &sv) flush_to_host();
   }
 
+  /// Counters are *snapshots taken at op boundaries* (snapshot_net after
+  /// every sync), not live reads of the per-rank DistStateVector
+  /// counters — a live read could fold bytes a later submission is
+  /// already accumulating into the wrong op's trace row.
   [[nodiscard]] BackendCounters counters() const override {
-    BackendCounters c;
-    c.host_bytes = host_bytes_;
-    c.net_bytes = net_bytes_;
-    for (const auto& s : slots_)
-      if (s != nullptr) c.net_bytes += s->bytes_communicated();
-    return c;
+    return {host_bytes_, net_bytes_};
   }
 
  private:
@@ -250,7 +253,11 @@ class DistBackend final : public Backend {
     const qubit_t n = sv.qubits();
     release_slots();
     slots_.resize(static_cast<std::size_t>(eff));
+    slot_bytes_seen_.assign(static_cast<std::size_t>(eff), 0);
     const auto amps = sv.amplitudes();
+    obs::Span scatter_span("dist.scatter");
+    scatter_span.arg("host_bytes", static_cast<double>(models::staging_bytes(n)));
+    scatter_span.arg("pred_s", models::t_host_staging_seconds(n, 1, {}));
     session_->submit([this, n, amps](cluster::Comm& comm) {
       auto dsv = std::make_unique<sim::DistStateVector>(comm, n);
       const index_t chunk = dim(dsv->local_qubits());
@@ -261,6 +268,7 @@ class DistBackend final : public Backend {
       slots_[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
     });
     session_->sync();
+    scatter_span.end();
     host_ = &sv;
     resident_ = true;
     resident_n_ = n;
@@ -277,6 +285,9 @@ class DistBackend final : public Backend {
     if (!resident_) return;
     const auto rounds = sched::restore_rounds(perm_);
     const auto amps = host_->amplitudes();
+    obs::Span gather_span("dist.gather");
+    gather_span.arg("host_bytes", static_cast<double>(models::staging_bytes(resident_n_)));
+    gather_span.arg("pred_s", models::t_host_staging_seconds(resident_n_, 1, {}));
     session_->submit([this, rounds, amps](cluster::Comm& comm) {
       sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
       for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
@@ -286,6 +297,7 @@ class DistBackend final : public Backend {
       std::copy(dsv.local().begin(), dsv.local().end(), amps.begin() + base);
     });
     session_->sync();
+    gather_span.end();
     release_slots();
     host_bytes_ += models::staging_bytes(resident_n_);
     resident_ = false;
@@ -303,16 +315,26 @@ class DistBackend final : public Backend {
     host_ = nullptr;
   }
 
-  /// Folds the per-rank communication counters into net_bytes_ and
-  /// frees the chunks (host-side: DistStateVector's destructor does not
-  /// communicate).
-  void release_slots() {
-    for (auto& s : slots_)
-      if (s != nullptr) {
-        net_bytes_ += s->bytes_communicated();
-        s.reset();
+  /// Folds the *delta* of every rank's communication counter since the
+  /// previous snapshot into net_bytes_. Called after each sync, so the
+  /// engine's per-op counter reads see bytes attributed to the op that
+  /// actually moved them (not lumped into whichever op released the
+  /// slots).
+  void snapshot_net() {
+    for (std::size_t r = 0; r < slots_.size(); ++r)
+      if (slots_[r] != nullptr) {
+        const std::uint64_t seen = slots_[r]->bytes_communicated();
+        net_bytes_ += seen - slot_bytes_seen_[r];
+        slot_bytes_seen_[r] = seen;
       }
+  }
+
+  /// Takes a final snapshot and frees the chunks (host-side:
+  /// DistStateVector's destructor does not communicate).
+  void release_slots() {
+    snapshot_net();
     slots_.clear();
+    slot_bytes_seen_.clear();
   }
 
   int ranks_;
@@ -322,6 +344,9 @@ class DistBackend final : public Backend {
 
   std::unique_ptr<cluster::ClusterSession> session_;
   std::vector<std::unique_ptr<sim::DistStateVector>> slots_;  ///< One per rank.
+  /// Per-rank bytes_communicated() value at the last snapshot_net —
+  /// deltas against these attribute communication to the right op.
+  std::vector<std::uint64_t> slot_bytes_seen_;
   sim::StateVector* host_ = nullptr;  ///< Host state the residency is bound to.
   bool resident_ = false;
   qubit_t resident_n_ = 0;

@@ -75,6 +75,13 @@ struct RunOptions {
   /// own gather (kept as the measurable baseline; see
   /// models::t_host_staging_seconds).
   bool dist_resident = true;
+  /// Collect a structured trace of the run (obs::Tracer): hierarchical
+  /// spans across every layer — engine op, fusion, sweep scheduling,
+  /// chunk sweeps, dist exchanges, per-rank cluster jobs — returned in
+  /// Result.trace_data for the Chrome-trace / metrics / model-report
+  /// exporters (obs/report.hpp). Off (default): instrumentation costs
+  /// one relaxed atomic load per site.
+  bool trace = false;
 };
 
 /// Monotone byte counters a backend exposes for the per-op engine

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace qc::engine {
 
@@ -13,10 +14,22 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   if (opts.initial_basis >= dim(p.qubits()))
     throw std::invalid_argument("Engine::run: initial_basis outside the register");
 
+  // Tracing is per-run: the tracer is installed process-wide for the
+  // run's duration so every layer down to the rank threads records into
+  // it, and collected into Result.trace_data before the backend (and
+  // with it any cluster session) is torn down.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (opts.trace) tracer = std::make_unique<obs::Tracer>();
+  const obs::ScopedTracer scoped(tracer.get());
+  obs::Span run_span("engine.run");
+
   Program lowered;
   const Program* prog = &p;
   if (!backend->emulates() && p.needs_lowering()) {
+    obs::Span sp("engine.lower");
     lowered = lower(p, opts.lower);
+    sp.arg("ops_in", static_cast<double>(p.size()));
+    sp.arg("ops_out", static_cast<double>(lowered.size()));
     prog = &lowered;
   }
 
@@ -31,7 +44,9 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   WallTimer total;
   BackendCounters before = backend->counters();
   for (const Op& op : prog->ops()) {
+    const std::string label = op.label();
     WallTimer t;
+    obs::Span op_span(label);
     switch (op.kind) {
       case OpKind::Measure:
         // The engine draws the uniform (one per Measure op, in program
@@ -51,7 +66,10 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
         backend->run_highlevel(sv, op);
     }
     const BackendCounters after = backend->counters();
-    res.trace.push_back({op.label(), t.seconds(), after.host_bytes - before.host_bytes,
+    op_span.arg("host_bytes", static_cast<double>(after.host_bytes - before.host_bytes));
+    op_span.arg("net_bytes", static_cast<double>(after.net_bytes - before.net_bytes));
+    op_span.end();
+    res.trace.push_back({label, t.seconds(), after.host_bytes - before.host_bytes,
                          after.net_bytes - before.net_bytes});
     before = after;
   }
@@ -60,8 +78,12 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   // the per-run staging count stays auditable.
   {
     WallTimer t;
+    obs::Span fin_span("[finalize]");
     backend->end_run(sv);
     const BackendCounters after = backend->counters();
+    fin_span.arg("host_bytes", static_cast<double>(after.host_bytes - before.host_bytes));
+    fin_span.arg("net_bytes", static_cast<double>(after.net_bytes - before.net_bytes));
+    fin_span.end();
     if (after.host_bytes != before.host_bytes || after.net_bytes != before.net_bytes)
       res.trace.push_back({"[finalize]", t.seconds(), after.host_bytes - before.host_bytes,
                            after.net_bytes - before.net_bytes});
@@ -69,6 +91,10 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
     res.net_bytes = after.net_bytes;
   }
   res.total_seconds = total.seconds();
+  if (tracer != nullptr) {
+    run_span.end();
+    res.trace_data = std::make_shared<const obs::TraceData>(tracer->collect());
+  }
 
   if (prog->qubits() == p.qubits()) {
     res.state = std::move(sv);

@@ -18,8 +18,11 @@
 // backend measures collectively against its distributed state.
 #pragma once
 
+#include <memory>
+
 #include "engine/backend.hpp"
 #include "engine/program.hpp"
+#include "obs/trace.hpp"
 #include "sim/state_vector.hpp"
 
 namespace qc::engine {
@@ -47,8 +50,15 @@ struct Result {
   std::vector<double> expectations;
   /// Per-op wall-clock trace (of the lowered program when lowering ran).
   /// A backend that flushes resident state at run end (dist) appends
-  /// one trailing "[finalize]" row covering that gather.
+  /// one trailing "[finalize]" row covering that gather. With
+  /// RunOptions.trace enabled these rows are the flat view over the
+  /// root op spans of `trace_data` — same columns, same totals.
   std::vector<OpTrace> trace;
+  /// Full structured trace of the run (null unless RunOptions.trace):
+  /// the span tree — engine.run -> per-op spans -> per-rank cluster
+  /// jobs -> dist plan items -> sweeps/exchanges — plus counters. Feed
+  /// to obs::chrome_trace_json / metrics_json / model_report.
+  std::shared_ptr<const obs::TraceData> trace_data;
   std::string backend;      ///< Backend name the run used.
   qubit_t run_qubits = 0;   ///< Qubits actually simulated (incl. ancillas).
   double total_seconds = 0; ///< End-to-end wall-clock time.

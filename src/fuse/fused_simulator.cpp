@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sim/kernels.hpp"
 
 namespace qc::fuse {
@@ -23,6 +24,11 @@ void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) con
       continue;
     }
     const FusedOp& op = item.block;
+    obs::Span span("fuse.block");
+    if (obs::enabled()) {
+      span.arg("width", static_cast<double>(op.width()));
+      span.arg("gates", static_cast<double>(op.gate_count));
+    }
     if (op.diagonal) {
       // All folded gates were diagonal, so the block unitary is too:
       // apply just the plan-time-extracted diagonal in one multiply-only

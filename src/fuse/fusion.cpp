@@ -7,6 +7,7 @@
 
 #include "common/bits.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernels.hpp"
 
 namespace qc::fuse {
@@ -176,6 +177,9 @@ std::string FusedCircuit::to_string() const {
 FusedCircuit fuse_circuit(const circuit::Circuit& c, const FusionOptions& opts) {
   if (opts.max_width > sim::kernels::kMaxFusedWidth)
     throw std::invalid_argument("fuse_circuit: max_width exceeds kernel limit");
+  // Cost-gated re-fusion recurses through here, so nested fuse.pass
+  // spans mark blocks that unwound to a narrower width.
+  obs::Span pass_span("fuse.pass");
   FusedCircuit out;
   out.n = c.qubits();
   out.source_gates = c.size();
@@ -241,6 +245,10 @@ FusedCircuit fuse_circuit(const circuit::Circuit& c, const FusionOptions& opts) 
       for (index_t d = 0; d < block; ++d) item.block.diag[d] = item.block.unitary(d, d);
     }
     out.items.push_back(std::move(item));
+  }
+  if (obs::enabled()) {
+    pass_span.arg("gates_in", static_cast<double>(out.source_gates));
+    pass_span.arg("items_out", static_cast<double>(out.items.size()));
   }
   return out;
 }

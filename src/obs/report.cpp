@@ -1,0 +1,194 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace qc::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      (out += '\\') += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  // JSON has no NaN/Inf; clamp to null-ish zero.
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceData& data) {
+  std::string out = "{\"traceEvents\":[\n";
+  // Thread-name metadata: one lane per Chrome tid.
+  std::set<int> lanes;
+  for (const SpanEvent& s : data.spans) lanes.insert(s.lane);
+  bool first = true;
+  for (const int lane : lanes) {
+    if (!first) out += ",\n";
+    first = false;
+    const std::string name = lane == 0 ? "driver" : "rank " + std::to_string(lane - 1);
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(lane) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name + "\"}}";
+  }
+  for (const SpanEvent& s : data.spans) {
+    if (!first) out += ",\n";
+    first = false;
+    // Everything renders as an "X" complete event — zero-duration
+    // decision markers show as slivers, which keeps the schema uniform.
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(s.lane) + ",\"name\":\"" +
+           json_escape(s.name) + "\",\"ts\":" + num(s.start_s * 1e6) +
+           ",\"dur\":" + num(s.dur_s * 1e6);
+    out += ",\"args\":{\"id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent);
+    for (const SpanArg& a : s.args)
+      out += ",\"" + json_escape(a.key) + "\":" + num(a.value);
+    out += "}}";
+  }
+  for (const auto& [name, v] : data.counters) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"" + json_escape(name) +
+           "\",\"ts\":0,\"args\":{\"value\":" + num(v) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::vector<SpanStats> span_stats(const TraceData& data) {
+  std::map<std::string, SpanStats> by_name;
+  for (const SpanEvent& s : data.spans) {
+    SpanStats& st = by_name[s.name];
+    st.name = s.name;
+    ++st.count;
+    st.total_s += s.dur_s;
+    st.bytes += s.arg("bytes", 0);
+    if (s.has_arg("pred_s")) {
+      st.has_pred = true;
+      st.pred_s += s.arg("pred_s", 0);
+    }
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, st] : by_name) out.push_back(std::move(st));
+  return out;
+}
+
+std::vector<LaneStats> lane_stats(const TraceData& data) {
+  std::map<int, LaneStats> by_lane;
+  for (const SpanEvent& s : data.spans) {
+    if (s.lane == 0) continue;
+    LaneStats& ls = by_lane[s.lane];
+    ls.lane = s.lane;
+    if (s.name == "cluster.job") ls.exec_s += s.dur_s;
+    if (s.name == "cluster.barrier") ls.barrier_s += s.dur_s;
+    if (s.name == "cluster.park") ls.park_s += s.dur_s;
+  }
+  std::vector<LaneStats> out;
+  out.reserve(by_lane.size());
+  for (auto& [lane, ls] : by_lane) out.push_back(ls);
+  return out;
+}
+
+double load_imbalance(const TraceData& data) {
+  const std::vector<LaneStats> lanes = lane_stats(data);
+  if (lanes.size() < 2) return 0;
+  double max = 0, sum = 0;
+  for (const LaneStats& ls : lanes) {
+    max = std::max(max, ls.exec_s);
+    sum += ls.exec_s;
+  }
+  const double mean = sum / static_cast<double>(lanes.size());
+  return mean > 0 ? max / mean - 1.0 : 0;
+}
+
+std::string metrics_json(const TraceData& data) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : data.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + num(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans\": [";
+  first = true;
+  for (const SpanStats& st : span_stats(data)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(st.name) +
+           "\", \"count\": " + std::to_string(st.count) + ", \"total_s\": " + num(st.total_s);
+    if (st.has_pred) out += ", \"pred_s\": " + num(st.pred_s);
+    if (st.bytes > 0) out += ", \"bytes\": " + num(st.bytes);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"lanes\": [";
+  first = true;
+  for (const LaneStats& ls : lane_stats(data)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rank\": " + std::to_string(ls.lane - 1) + ", \"exec_s\": " + num(ls.exec_s) +
+           ", \"barrier_s\": " + num(ls.barrier_s) + ", \"park_s\": " + num(ls.park_s) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"imbalance\": " + num(load_imbalance(data)) + "\n}";
+  return out;
+}
+
+Table summary_table(const TraceData& data) {
+  Table table({"span", "count", "total [s]", "mean [s]", "pred [s]", "drift", "MB"});
+  for (const SpanStats& st : span_stats(data)) {
+    table.add_row({st.name, std::to_string(st.count), sci(st.total_s),
+                   sci(st.total_s / static_cast<double>(st.count)),
+                   st.has_pred ? sci(st.pred_s) : "-",
+                   st.has_pred && st.pred_s > 0 ? fixed(st.total_s / st.pred_s, 2) + "x" : "-",
+                   st.bytes > 0 ? fixed(st.bytes / 1e6, 1) : "-"});
+  }
+  return table;
+}
+
+std::vector<ModelRow> model_report(const TraceData& data) {
+  std::vector<ModelRow> rows;
+  for (const SpanStats& st : span_stats(data)) {
+    if (!st.has_pred) continue;
+    ModelRow row;
+    row.name = st.name;
+    row.count = st.count;
+    row.measured_s = st.total_s;
+    row.predicted_s = st.pred_s;
+    row.bytes = static_cast<std::uint64_t>(std::llround(st.bytes));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Table model_report_table(const std::vector<ModelRow>& rows) {
+  Table table({"span", "count", "measured [s]", "predicted [s]", "drift", "MB"});
+  for (const ModelRow& r : rows)
+    table.add_row({r.name, std::to_string(r.count), sci(r.measured_s), sci(r.predicted_s),
+                   r.predicted_s > 0 ? fixed(r.drift(), 2) + "x" : "-",
+                   fixed(static_cast<double>(r.bytes) / 1e6, 1)});
+  return table;
+}
+
+}  // namespace qc::obs

@@ -1,0 +1,94 @@
+// Exporters over one collected TraceData — the read side of obs.
+//
+//  * chrome_trace_json(): Chrome trace_event format ("X" complete
+//    events, ts/dur in microseconds, tid = lane) plus thread_name
+//    metadata per lane — open in about:tracing or Perfetto to see the
+//    per-rank timelines with engine op -> job -> plan -> sweep/exchange
+//    nesting.
+//  * metrics_json(): flat machine-readable metrics — counters, per-span-
+//    name aggregates (count/total/predicted/bytes), per-lane
+//    execute/barrier/park totals and the load-imbalance metric benches
+//    embed under their --metrics flag.
+//  * summary_table(): the same aggregates as a human-readable
+//    common/Table.
+//  * model_report(): predicted-vs-measured rows for every span family
+//    that carries a "pred_s" arg (sweep memory time from
+//    models::t_state_pass_seconds, Eq. 6 chunk-exchange time from
+//    models::t_chunk_exchange_seconds, host staging) — the drift check
+//    the perf model never had.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/trace.hpp"
+
+namespace qc::obs {
+
+/// Chrome trace_event JSON (the whole {"traceEvents": [...]} object).
+[[nodiscard]] std::string chrome_trace_json(const TraceData& data);
+
+/// Aggregate over all spans sharing one name.
+struct SpanStats {
+  std::string name;
+  std::size_t count = 0;
+  double total_s = 0;
+  double pred_s = 0;        ///< Sum of "pred_s" args (0 when never set).
+  double bytes = 0;         ///< Sum of "bytes" args.
+  bool has_pred = false;    ///< At least one span carried "pred_s".
+};
+
+/// Per-lane breakdown of a cluster run, from the cluster.job /
+/// cluster.barrier / cluster.park spans.
+struct LaneStats {
+  int lane = 0;
+  double exec_s = 0;     ///< Time inside submitted jobs.
+  double barrier_s = 0;  ///< Time blocked in Comm::barrier.
+  double park_s = 0;     ///< Time parked between jobs.
+};
+
+/// Span aggregates by name, alphabetical.
+[[nodiscard]] std::vector<SpanStats> span_stats(const TraceData& data);
+
+/// Lane breakdown (lanes > 0 only — the cluster ranks), ascending lane.
+[[nodiscard]] std::vector<LaneStats> lane_stats(const TraceData& data);
+
+/// Load imbalance of the rank lanes: max(exec_s)/mean(exec_s) - 1 over
+/// the lanes of lane_stats (0 when balanced, 0 with < 2 lanes).
+[[nodiscard]] double load_imbalance(const TraceData& data);
+
+/// Flat metrics JSON object: {"counters": {...}, "spans": [...],
+/// "lanes": [...], "imbalance": x}. Embeddable (no trailing newline).
+[[nodiscard]] std::string metrics_json(const TraceData& data);
+
+/// Human-readable per-span-name summary (count, total, mean, predicted,
+/// drift, MB moved).
+[[nodiscard]] Table summary_table(const TraceData& data);
+
+/// One predicted-vs-measured row of the model-validation report.
+struct ModelRow {
+  std::string name;        ///< Span family ("sched.sweep", "dist.exchange", ...).
+  std::size_t count = 0;   ///< Spans measured.
+  double measured_s = 0;   ///< Wall-clock sum.
+  double predicted_s = 0;  ///< models::perf_model sum at instrumentation time.
+  std::uint64_t bytes = 0; ///< Bytes the spans attributed (0 for memory rows).
+  /// measured / predicted — the drift factor (>1: model optimistic).
+  [[nodiscard]] double drift() const {
+    return predicted_s > 0 ? measured_s / predicted_s : 0;
+  }
+};
+
+/// Rows for every span family carrying a "pred_s" arg, alphabetical.
+/// The bytes column sums exactly the "bytes" args of those spans, so a
+/// fully traced dist run satisfies
+///   sum(row.bytes) == Result.net_bytes
+/// (every site that bumps DistStateVector::bytes_communicated is also a
+/// pred_s span) — asserted by the engine test suite.
+[[nodiscard]] std::vector<ModelRow> model_report(const TraceData& data);
+
+/// The model report as a printable table.
+[[nodiscard]] Table model_report_table(const std::vector<ModelRow>& rows);
+
+}  // namespace qc::obs

@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace qc::obs {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<Tracer*> g_current{nullptr};
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<std::uint64_t> g_next_span{1};
+
+thread_local int t_lane = 0;
+
+/// Per-thread recording state, re-bound whenever the current tracer
+/// changes (generation check) so a stale buffer from a destroyed tracer
+/// is never written through.
+struct Tls {
+  std::uint64_t generation = 0;
+  void* log = nullptr;                ///< Tracer::ThreadLog of that generation.
+  std::vector<span_id> open;          ///< Innermost-last open span stack.
+};
+thread_local Tls t_tls;
+
+}  // namespace
+
+double SpanEvent::arg(std::string_view key, double fallback) const {
+  for (const SpanArg& a : args)
+    if (a.key == key) return a.value;
+  return fallback;
+}
+
+bool SpanEvent::has_arg(std::string_view key) const {
+  for (const SpanArg& a : args)
+    if (a.key == key) return true;
+  return false;
+}
+
+std::vector<std::size_t> TraceData::roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (spans[i].parent == 0) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> TraceData::children_of(span_id id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (spans[i].parent == id) out.push_back(i);
+  return out;
+}
+
+double TraceData::sum_arg(std::string_view key) const {
+  double total = 0;
+  for (const SpanEvent& s : spans) total += s.arg(key, 0);
+  return total;
+}
+
+/// One thread's buffer: written only by its owning thread, read by
+/// collect(). The mutex is uncontended except at collection time.
+struct Tracer::ThreadLog {
+  std::mutex mutex;
+  std::vector<SpanEvent> events;
+  std::map<std::string, double> counters;
+};
+
+Tracer::Tracer()
+    : generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1),
+      epoch_ns_(now_ns()) {}
+
+Tracer::~Tracer() {
+  // Never leave a dangling current pointer behind.
+  Tracer* self = this;
+  g_current.compare_exchange_strong(self, nullptr, std::memory_order_release);
+}
+
+Tracer* Tracer::current() noexcept { return g_current.load(std::memory_order_relaxed); }
+
+void Tracer::set_current(Tracer* t) noexcept {
+  g_current.store(t, std::memory_order_release);
+}
+
+double Tracer::now() const noexcept {
+  return static_cast<double>(now_ns() - epoch_ns_) * 1e-9;
+}
+
+span_id Tracer::next_id() noexcept {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::ThreadLog& Tracer::log_for_this_thread() const {
+  if (t_tls.generation != generation_) {
+    auto log = std::make_unique<ThreadLog>();
+    ThreadLog* raw = log.get();
+    {
+      std::lock_guard lock(logs_mutex_);
+      logs_.push_back(std::move(log));
+    }
+    t_tls.generation = generation_;
+    t_tls.log = raw;
+    t_tls.open.clear();
+  }
+  return *static_cast<ThreadLog*>(t_tls.log);
+}
+
+void Tracer::record(SpanEvent ev) {
+  ThreadLog& log = log_for_this_thread();
+  std::lock_guard lock(log.mutex);
+  log.events.push_back(std::move(ev));
+}
+
+void Tracer::add_counter(std::string_view name, double v) {
+  ThreadLog& log = log_for_this_thread();
+  std::lock_guard lock(log.mutex);
+  log.counters[std::string(name)] += v;
+}
+
+TraceData Tracer::collect() const {
+  TraceData data;
+  std::lock_guard lock(logs_mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard ll(log->mutex);
+    data.spans.insert(data.spans.end(), log->events.begin(), log->events.end());
+    for (const auto& [name, v] : log->counters) data.counters[name] += v;
+  }
+  std::stable_sort(data.spans.begin(), data.spans.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) { return a.start_s < b.start_s; });
+  return data;
+}
+
+void set_thread_lane(int lane) noexcept { t_lane = lane; }
+int thread_lane() noexcept { return t_lane; }
+
+span_id current_span() noexcept {
+  if (Tracer::current() == nullptr || t_tls.open.empty()) return 0;
+  return t_tls.open.back();
+}
+
+Span::Span(std::string_view name, span_id parent_override) {
+  Tracer* t = Tracer::current();
+  if (t == nullptr) return;
+  tracer_ = t;
+  t->log_for_this_thread();  // binds tls to this tracer's generation
+  parent_ = parent_override != 0 ? parent_override
+                                 : (t_tls.open.empty() ? 0 : t_tls.open.back());
+  id_ = Tracer::next_id();
+  name_ = name;
+  start_s_ = t->now();
+  t_tls.open.push_back(id_);
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back({std::string(key), value});
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  // A mismatched stack means end() ran on a different thread than the
+  // constructor — not supported; spans are thread-affine by design.
+  if (!t_tls.open.empty() && t_tls.open.back() == id_) t_tls.open.pop_back();
+  SpanEvent ev;
+  ev.id = id_;
+  ev.parent = parent_;
+  ev.name = std::move(name_);
+  ev.start_s = start_s_;
+  ev.dur_s = tracer_->now() - start_s_;
+  ev.lane = t_lane;
+  ev.args = std::move(args_);
+  tracer_->record(std::move(ev));
+  tracer_ = nullptr;
+}
+
+Span::~Span() { end(); }
+
+void instant(std::string_view name, std::initializer_list<SpanArg> args) {
+  Tracer* t = Tracer::current();
+  if (t == nullptr) return;
+  SpanEvent ev;
+  ev.id = Tracer::next_id();
+  ev.parent = t_tls.open.empty() ? 0 : t_tls.open.back();
+  ev.name = name;
+  ev.start_s = t->now();
+  ev.dur_s = 0;
+  ev.lane = t_lane;
+  ev.args = args;
+  t->record(std::move(ev));
+}
+
+void emit_interval(std::string_view name, double seconds_ago_start, double seconds_ago_end,
+                   std::initializer_list<SpanArg> args) {
+  Tracer* t = Tracer::current();
+  if (t == nullptr) return;
+  const double now = t->now();
+  // Clamp to the tracer's lifetime: the caller may have started timing
+  // before this tracer existed.
+  const double start = std::max(0.0, now - seconds_ago_start);
+  const double end = std::max(start, now - seconds_ago_end);
+  SpanEvent ev;
+  ev.id = Tracer::next_id();
+  ev.parent = 0;
+  ev.name = name;
+  ev.start_s = start;
+  ev.dur_s = end - start;
+  ev.lane = t_lane;
+  ev.args = args;
+  t->record(std::move(ev));
+}
+
+void counter_add(std::string_view name, double v) {
+  Tracer* t = Tracer::current();
+  if (t == nullptr) return;
+  t->add_counter(name, v);
+}
+
+}  // namespace qc::obs

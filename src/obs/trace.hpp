@@ -1,0 +1,207 @@
+// Structured tracing + metrics — the observability substrate every
+// execution layer emits into.
+//
+// The paper's analysis attributes wall-clock to memory sweeps and Eq. 6
+// communication; this module makes that attribution first-class instead
+// of a flat per-op timer. A Tracer collects *spans* (named, nested
+// intervals with numeric args) and *counters* from any thread into
+// per-thread buffers; exporters (obs/report.hpp) turn one collected
+// TraceData into a Chrome trace_event JSON (open in about:tracing /
+// Perfetto), a flat metrics JSON, a summary table, and the
+// predicted-vs-measured model-drift report.
+//
+// Cost contract:
+//  * disabled (no current tracer — the default): constructing a Span or
+//    bumping a counter is one relaxed atomic load and a branch, so the
+//    instrumentation can stay compiled into every hot path;
+//  * enabled: one uncontended mutex lock per finished span / counter
+//    bump into the calling thread's own buffer (threads never share a
+//    buffer, so rank threads trace concurrently without contention).
+//
+// Lanes: every event carries a small integer lane for the Chrome trace's
+// tid axis. Lane 0 is the driver thread; cluster rank r records into
+// lane r + 1 (ClusterSession::worker calls set_thread_lane), which is
+// what gives the trace its per-rank timelines.
+//
+// Cross-thread nesting: a span's parent defaults to the innermost open
+// span *on the same thread*; ClusterSession::submit captures the
+// submitting thread's current span id and parents each rank's job span
+// under it, so the collected tree nests engine op -> per-rank job ->
+// dist plan -> sweep/exchange across the thread boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qc::obs {
+
+using span_id = std::uint64_t;  ///< 0 = "no span".
+
+/// One numeric attribute of a span (all args are doubles: byte counts
+/// and predicted seconds both fit, and it keeps the export trivial).
+struct SpanArg {
+  std::string key;
+  double value = 0;
+};
+
+/// One finished span, in tracer-relative seconds.
+struct SpanEvent {
+  span_id id = 0;
+  span_id parent = 0;  ///< 0 = root.
+  std::string name;
+  double start_s = 0;
+  double dur_s = 0;
+  int lane = 0;
+  std::vector<SpanArg> args;
+
+  /// First arg named `key`, or `fallback`.
+  [[nodiscard]] double arg(std::string_view key, double fallback = 0) const;
+  [[nodiscard]] bool has_arg(std::string_view key) const;
+};
+
+/// Everything a Tracer collected, ready for the exporters: spans sorted
+/// by start time plus counters summed over all threads.
+struct TraceData {
+  std::vector<SpanEvent> spans;
+  std::map<std::string, double> counters;
+
+  /// Indices of the root spans (parent == 0), in start order.
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+  /// Indices of the children of span `id`, in start order.
+  [[nodiscard]] std::vector<std::size_t> children_of(span_id id) const;
+  /// Sum of `key` args over every span (e.g. "bytes" over the exchange
+  /// spans — the number the model report checks against Result.net_bytes).
+  [[nodiscard]] double sum_arg(std::string_view key) const;
+};
+
+/// Collects spans and counters from every thread while installed as the
+/// process-wide current tracer. Install with ScopedTracer (or
+/// set_current); collect() after the traced region completed.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide current tracer (nullptr = tracing disabled). One
+  /// relaxed atomic load — the only cost instrumentation pays when
+  /// tracing is off.
+  [[nodiscard]] static Tracer* current() noexcept;
+
+  /// Installs/clears the current tracer. Passing nullptr disables
+  /// tracing. Not reentrant with concurrent traced regions; the engine
+  /// saves and restores around a run (see ScopedTracer).
+  static void set_current(Tracer* t) noexcept;
+
+  /// Seconds since this tracer's construction (steady clock).
+  [[nodiscard]] double now() const noexcept;
+
+  /// Snapshot of everything recorded so far (spans sorted by start
+  /// time, per-thread counters merged). Callable while other threads
+  /// are *parked* — any span still open is simply absent.
+  [[nodiscard]] TraceData collect() const;
+
+  // -- recording interface (used by Span / counter helpers) -------------
+
+  /// Appends one finished event to the calling thread's buffer.
+  void record(SpanEvent ev);
+
+  /// Adds `v` to counter `name` in the calling thread's buffer.
+  void add_counter(std::string_view name, double v);
+
+  /// Globally unique span id.
+  [[nodiscard]] static span_id next_id() noexcept;
+
+ private:
+  friend class Span;  // binds the thread's tls in its constructor
+
+  struct ThreadLog;
+  ThreadLog& log_for_this_thread() const;
+
+  std::uint64_t generation_;
+  std::uint64_t epoch_ns_;  ///< steady_clock at construction.
+  mutable std::mutex logs_mutex_;
+  mutable std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// True when a tracer is installed — use to skip building expensive
+/// span names/args when tracing is off.
+[[nodiscard]] inline bool enabled() noexcept { return Tracer::current() != nullptr; }
+
+/// Lane of the calling thread (Chrome tid). 0 = driver; cluster ranks
+/// set r + 1 for their worker thread's lifetime.
+void set_thread_lane(int lane) noexcept;
+[[nodiscard]] int thread_lane() noexcept;
+
+/// Innermost open span on the calling thread (0 if none) — capture on a
+/// submitting thread to parent work running on another thread.
+[[nodiscard]] span_id current_span() noexcept;
+
+/// RAII span: records [construction, destruction) under the current
+/// tracer. A no-op (one atomic load) when tracing is disabled.
+class Span {
+ public:
+  /// `parent_override` != 0 parents this span explicitly (cross-thread
+  /// nesting); default nests under the thread's innermost open span.
+  explicit Span(std::string_view name, span_id parent_override = 0);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric attribute (no-op when disabled).
+  void arg(std::string_view key, double value);
+
+  /// Closes the span now instead of at scope exit.
+  void end();
+
+  /// Id of this span (0 when tracing is disabled).
+  [[nodiscard]] span_id id() const noexcept { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< Null when disabled at construction.
+  span_id id_ = 0;
+  span_id parent_ = 0;
+  double start_s_ = 0;
+  std::string name_;
+  std::vector<SpanArg> args_;
+};
+
+/// Records a zero-duration marker event (e.g. a scheduler cost-model
+/// decision with its inputs as args). No-op when disabled.
+void instant(std::string_view name, std::initializer_list<SpanArg> args = {});
+
+/// Records a completed interval retroactively from caller-measured
+/// times (seconds before now). Used for park time: the wait is measured
+/// unconditionally with a cheap timer and only *emitted* once a tracer
+/// is known to be installed, so no span is ever left open across a
+/// tracer's destruction. The interval is clamped to the tracer's epoch.
+void emit_interval(std::string_view name, double seconds_ago_start, double seconds_ago_end,
+                   std::initializer_list<SpanArg> args = {});
+
+/// Adds `v` to counter `name` (no-op when disabled).
+void counter_add(std::string_view name, double v);
+
+/// Installs `t` as current for the scope, restoring the previous
+/// current tracer on exit.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* t) : prev_(Tracer::current()) { Tracer::set_current(t); }
+  ~ScopedTracer() { Tracer::set_current(prev_); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+}  // namespace qc::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "models/perf_model.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernels.hpp"
 
 namespace qc::sched {
@@ -82,15 +84,35 @@ BlockedPlan CachedSimulator::plan(const circuit::Circuit& c) const {
 void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
   if (a.size() != dim(plan.n))
     throw std::invalid_argument("execute_blocked: amplitude count mismatch");
+  // Each plan item is priced at (multiples of) one full memory pass —
+  // t_state_pass_seconds is the prediction every span carries, so the
+  // model report can show how far this machine is from the Eq. 6
+  // bandwidth term the scheduler traded in.
+  const double pass_pred =
+      obs::enabled() ? models::t_state_pass_seconds(plan.n, {}) : 0;
   for (const PlanItem& item : plan.items) {
     switch (item.kind) {
-      case PlanItem::Kind::Sweep:
+      case PlanItem::Kind::Sweep: {
+        obs::Span span("sched.sweep");
+        if (obs::enabled()) {
+          span.arg("ops", static_cast<double>(item.ops.size()));
+          span.arg("pred_s", pass_pred);
+        }
         run_sweep(a, plan.n, plan.chunk_width, item.ops);
         break;
-      case PlanItem::Kind::Remap:
+      }
+      case PlanItem::Kind::Remap: {
+        obs::Span span("sched.remap");
+        if (obs::enabled()) {
+          span.arg("swaps", static_cast<double>(item.swaps.size()));
+          span.arg("pred_s", pass_pred);
+        }
         sim::kernels::apply_qubit_swaps(a, plan.n, item.swaps);
         break;
+      }
       case PlanItem::Kind::Global: {
+        obs::Span span("sched.global");
+        if (obs::enabled()) span.arg("pred_s", pass_pred);
         const ChunkOp& op = item.global;
         if (op.kind == ChunkOp::Kind::Dense) {
           sim::kernels::apply_multi(a, plan.n, op.qubits,

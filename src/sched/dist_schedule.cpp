@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "models/perf_model.hpp"
+#include "obs/trace.hpp"
 #include "sched/cached_simulator.hpp"
 
 namespace qc::sched {
@@ -135,6 +136,7 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
   const qubit_t nl = local_qubits;
   if (nl == 0 || nl > n)
     throw std::invalid_argument("dist_schedule: local qubits must be in [1, n]");
+  obs::Span plan_span("sched.dist_plan");
   DistPlan plan;
   plan.n = n;
   plan.local_qubits = nl;
@@ -243,9 +245,17 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
         for (std::size_t j = i; j < window_end; ++j)
           saved += static_cast<std::ptrdiff_t>(exchanges_for(gates[j], perm, nl, opts.policy)) -
                    static_cast<std::ptrdiff_t>(exchanges_for(gates[j], trial, nl, opts.policy));
-        if (all_local(masks[i], trial) && saved > 0 &&
+        const bool taken =
+            all_local(masks[i], trial) && saved > 0 &&
             models::global_remap_profitable(static_cast<std::size_t>(saved),
-                                            opts.exchange_pass_cost)) {
+                                            opts.exchange_pass_cost);
+        // Eq. 6 trade with its inputs, preserved as a trace marker.
+        obs::instant("sched.exchange_decision",
+                     {{"gate", static_cast<double>(i)},
+                      {"saved", static_cast<double>(saved)},
+                      {"exchange_cost", opts.exchange_pass_cost},
+                      {"taken", taken ? 1.0 : 0.0}});
+        if (taken) {
           flush();
           DistPlanItem item;
           item.kind = DistPlanItem::Kind::Exchange;
@@ -270,20 +280,25 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
   }
   flush();
 
-  if (perm_io != nullptr) {
-    // Resident caller: leave the state in whatever order planning
-    // reached — the next segment picks it up, and the single restore
-    // happens at gather time.
+  if (perm_io == nullptr) {
+    // Undo all exchanges so the state leaves in logical qubit order;
+    // each round is one disjoint transposition set (one chunk
+    // permutation). A resident caller (perm_io) instead carries the
+    // reached order forward — the single restore happens at gather time.
+    for (auto& swaps : restore_rounds(perm)) {
+      DistPlanItem item;
+      item.kind = DistPlanItem::Kind::Exchange;
+      item.swaps = std::move(swaps);
+      plan.items.push_back(std::move(item));
+    }
+  } else {
     *perm_io = perm;
-    return plan;
   }
-  // Undo all exchanges so the state leaves in logical qubit order; each
-  // round is one disjoint transposition set (one chunk permutation).
-  for (auto& swaps : restore_rounds(perm)) {
-    DistPlanItem item;
-    item.kind = DistPlanItem::Kind::Exchange;
-    item.swaps = std::move(swaps);
-    plan.items.push_back(std::move(item));
+  if (obs::enabled()) {
+    plan_span.arg("gates", static_cast<double>(plan.source_gates));
+    plan_span.arg("locals", static_cast<double>(plan.locals()));
+    plan_span.arg("exchanges", static_cast<double>(plan.exchanges()));
+    plan_span.arg("per_gate", static_cast<double>(plan.globals()));
   }
   return plan;
 }
@@ -292,17 +307,27 @@ void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
                    sim::CommPolicy policy) {
   if (dsv.qubits() != plan.n || dsv.local_qubits() != plan.local_qubits)
     throw std::invalid_argument("run_dist_plan: qubit split mismatch");
+  obs::Span plan_run_span("dist.plan");
   for (const DistPlanItem& item : plan.items) {
     switch (item.kind) {
-      case DistPlanItem::Kind::Local:
+      case DistPlanItem::Kind::Local: {
+        // Rank-local cache-blocked execution: the sched.sweep spans this
+        // emits nest inside it, giving the trace its fourth level.
+        obs::Span span("dist.local");
+        if (obs::enabled())
+          span.arg("ops", static_cast<double>(item.local.source_ops));
         execute_blocked(dsv.local(), item.local);
         break;
+      }
       case DistPlanItem::Kind::Exchange:
+        // dsv emits its own "dist.exchange_pass" span (with bytes).
         dsv.apply_qubit_swaps(item.swaps);
         break;
-      case DistPlanItem::Kind::Gate:
+      case DistPlanItem::Kind::Gate: {
+        obs::Span span("dist.gate");
         dsv.apply_gate(item.gate, policy);
         break;
+      }
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
 #include "models/perf_model.hpp"
+#include "obs/trace.hpp"
 
 namespace qc::sched {
 
@@ -187,6 +188,7 @@ qubit_t choose_chunk_width(qubit_t n, const ScheduleOptions& opts) {
 }
 
 BlockedPlan schedule(const FusedCircuit& fc, const ScheduleOptions& opts) {
+  obs::Span plan_span("sched.plan");
   BlockedPlan plan;
   plan.n = fc.n;
   plan.chunk_width = choose_chunk_width(fc.n, opts);
@@ -303,9 +305,18 @@ BlockedPlan schedule(const FusedCircuit& fc, const ScheduleOptions& opts) {
           const bool then = all_low(masks[j], trial);
           gain += static_cast<std::ptrdiff_t>(then) - static_cast<std::ptrdiff_t>(now);
         }
-        if (all_low(mask, trial) && gain > 0 &&
-            models::remap_profitable(static_cast<std::size_t>(gain),
-                                     opts.remap_pass_cost)) {
+        const bool taken = all_low(mask, trial) && gain > 0 &&
+                           models::remap_profitable(static_cast<std::size_t>(gain),
+                                                    opts.remap_pass_cost);
+        // The cost-model decision with its inputs, as a trace marker —
+        // this is what makes a "why did/didn't it remap here?" question
+        // answerable from a trace alone.
+        obs::instant("sched.remap_decision",
+                     {{"op", static_cast<double>(i)},
+                      {"gain", static_cast<double>(gain)},
+                      {"pass_cost", opts.remap_pass_cost},
+                      {"taken", taken ? 1.0 : 0.0}});
+        if (taken) {
           flush();
           PlanItem item;
           item.kind = PlanItem::Kind::Remap;
@@ -339,6 +350,11 @@ BlockedPlan schedule(const FusedCircuit& fc, const ScheduleOptions& opts) {
     item.swaps = swaps;
     plan.items.push_back(std::move(item));
     commit_swaps(swaps);
+  }
+  if (obs::enabled()) {
+    plan_span.arg("source_ops", static_cast<double>(plan.source_ops));
+    plan_span.arg("items", static_cast<double>(plan.items.size()));
+    plan_span.arg("chunk_width", static_cast<double>(plan.chunk_width));
   }
   return plan;
 }

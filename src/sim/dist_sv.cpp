@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "models/perf_model.hpp"
+#include "obs/trace.hpp"
 #include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
 
@@ -74,6 +76,14 @@ double DistStateVector::probability_of_one(qubit_t q) const {
 
 void DistStateVector::exchange_and_combine(qubit_t rank_bit, const kernels::U2& u,
                                            index_t local_cmask, index_t) {
+  // The per-gate pairwise chunk exchange of Eq. 6 — the span carries the
+  // bytes it moved plus the model's predicted time, so the model-drift
+  // report can compare Eq. 6 against this machine rank by rank.
+  obs::Span span("dist.exchange");
+  if (obs::enabled()) {
+    span.arg("bytes", static_cast<double>(local_.size() * sizeof(complex_t)));
+    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
+  }
   const int partner = comm_->rank() ^ (1 << rank_bit);
   const int my_bit = (comm_->rank() >> rank_bit) & 1;
   comm_->sendrecv<complex_t>(partner, {local_.data(), local_.size()},
@@ -182,6 +192,12 @@ void DistStateVector::run(const circuit::Circuit& c, CommPolicy policy) {
 }
 
 void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> pairs) {
+  // One exchange pass (the scheduler's global<->local remap unit): the
+  // span's prediction is the cost the remap decision was priced at — a
+  // chunk exchange when ranks communicate, a local memory pass when the
+  // permutation stays within the chunk.
+  obs::Span span("dist.exchange_pass");
+  const std::uint64_t bytes_before = bytes_comm_;
   // Split the disjoint transposition set into the class each level can
   // handle: local-local pairs permute the chunk in place, everything
   // touching a global qubit joins one collective chunk permutation.
@@ -205,7 +221,11 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
   }
   // Disjoint transpositions commute, so the local part can run first.
   if (!local_pairs.empty()) kernels::apply_qubit_swaps(local(), nl_, local_pairs);
-  if (cross.empty() && global_pairs.empty()) return;
+  if (cross.empty() && global_pairs.empty()) {
+    if (obs::enabled() && !local_pairs.empty())
+      span.arg("pred_s", models::t_state_pass_seconds(nl_, {}));
+    return;
+  }
 
   std::sort(cross.begin(), cross.end(),
             [](const auto& a, const auto& b) { return a[1] < b[1]; });
@@ -272,6 +292,10 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
     const index_t base = deposit(key);
 #pragma omp parallel for schedule(static) if (worth_parallelizing(sub))
     for (index_t j = 0; j < sub; ++j) local_[expand(j) | base] = in[j];
+  }
+  if (obs::enabled()) {
+    span.arg("bytes", static_cast<double>(bytes_comm_ - bytes_before));
+    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
   }
 }
 

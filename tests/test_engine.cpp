@@ -11,6 +11,7 @@
 #include "emu/observables.hpp"
 #include "engine/engine.hpp"
 #include "models/perf_model.hpp"
+#include "obs/report.hpp"
 
 namespace qc::engine {
 namespace {
@@ -591,6 +592,42 @@ TEST(Engine, NoCollapseLeavesStateBitIdentical) {
       EXPECT_EQ(a.state[i].imag(), b.state[i].imag()) << backend << " i=" << i;
     }
   }
+}
+
+// --- structured trace acceptance (PR 6) -------------------------------
+
+TEST(Engine, TracedDistRunValidatesModelAndAccountsEveryByte) {
+  // A 16-qubit, 4-rank run with tracing on. The model-validation
+  // report must contain predicted-vs-measured rows for both the sweep
+  // family (models::t_state_pass_seconds) and the chunk-exchange family
+  // (Eq. 6, models::t_chunk_exchange_seconds) — and the bytes those
+  // rows attribute must sum to Result.net_bytes *exactly*: every site
+  // that bumps the communication counter is also a pred_s span.
+  const qubit_t n = 16;
+  Program p(n);
+  p.gates(prep_circuit(n)).qft().expectation_z(0b11).measure({0, 4});
+  RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.collapse_measurements = false;
+  opts.trace = true;
+  const Result res = Engine().run(p, opts);
+  ASSERT_NE(res.trace_data, nullptr);
+  EXPECT_GT(res.net_bytes, 0u);
+
+  const std::vector<obs::ModelRow> rows = obs::model_report(*res.trace_data);
+  bool saw_sweep = false, saw_exchange = false;
+  std::uint64_t row_bytes = 0;
+  for (const obs::ModelRow& row : rows) {
+    EXPECT_GT(row.predicted_s, 0.0) << row.name;
+    EXPECT_GT(row.count, 0u) << row.name;
+    if (row.name == "sched.sweep") saw_sweep = true;
+    if (row.name.rfind("dist.exchange", 0) == 0 && row.bytes > 0) saw_exchange = true;
+    row_bytes += row.bytes;
+  }
+  EXPECT_TRUE(saw_sweep) << "no sweep-memory rows in the model report";
+  EXPECT_TRUE(saw_exchange) << "no chunk-exchange rows in the model report";
+  EXPECT_EQ(row_bytes, res.net_bytes);
 }
 
 }  // namespace

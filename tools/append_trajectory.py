@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Append the current CI run's bench headlines to the trajectory JSON.
+
+Reads the checked-in BENCH_TRAJECTORY.json, extracts the headline
+scalars (every top-level numeric field, e.g. "speedup_auto_vs_hpc",
+"qubits") from each given BENCH_*.json, and writes a copy with a
+"ci_runs" entry recording them next to the per-PR baseline series.
+The checked-in file is never modified — CI uploads the augmented copy
+as an artifact so baseline and live numbers diff side by side.
+
+Usage:
+  append_trajectory.py BENCH_TRAJECTORY.json BENCH_pr3.json [more...]
+      [--out BENCH_TRAJECTORY.ci.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def headline_scalars(doc):
+    """Top-level numeric fields of one bench JSON (ints/floats, no bools)."""
+    if not isinstance(doc, dict):
+        return {}
+    return {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trajectory", help="checked-in BENCH_TRAJECTORY.json")
+    ap.add_argument("bench", nargs="+", help="BENCH_*.json files from this run")
+    ap.add_argument("--out", default="BENCH_TRAJECTORY.ci.json")
+    args = ap.parse_args()
+
+    with open(args.trajectory) as f:
+        trajectory = json.load(f)
+
+    run = {
+        "sha": os.environ.get("GITHUB_SHA", "local"),
+        "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+        "benches": [],
+    }
+    for path in args.bench:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"append_trajectory: skipping {path}: {e}", file=sys.stderr)
+            continue
+        run["benches"].append(
+            {
+                "source": os.path.basename(path),
+                "bench": doc.get("bench", "") if isinstance(doc, dict) else "",
+                "metrics": headline_scalars(doc),
+            }
+        )
+
+    if not run["benches"]:
+        print("append_trajectory: no readable bench files", file=sys.stderr)
+        sys.exit(1)
+
+    trajectory.setdefault("ci_runs", []).append(run)
+    with open(args.out, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(
+        f"append_trajectory: wrote {args.out} "
+        f"({len(run['benches'])} benches, sha {run['sha'][:12]})"
+    )
+
+
+if __name__ == "__main__":
+    main()

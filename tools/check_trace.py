@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON produced by obs::chrome_trace_json.
+
+Structural checks (CI trace-smoke gate):
+  * parses as JSON with a "traceEvents" list;
+  * every event is a known phase ("X" complete, "M" metadata, "C" counter)
+    with the fields Chrome/Perfetto require (name, ts; dur for "X");
+  * span events carry id/parent args and every non-zero parent resolves
+    to another span in the file;
+  * the parent chain nests at least --min-depth levels (default 4:
+    engine op -> dist plan -> sweep/exchange under per-rank jobs);
+  * at least --min-lanes distinct tids appear (default 2: the driver
+    lane plus at least one rank lane), each with thread_name metadata.
+
+Exit code 0 = valid, 1 = any check failed.
+
+Usage: check_trace.py trace.json [--min-depth 4] [--min-lanes 2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-depth", type=int, default=4)
+    ap.add_argument("--min-lanes", type=int, default=2)
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents list")
+
+    spans = {}  # id -> event
+    named_lanes = set()
+    lanes = set()
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "C"):
+            fail(f"unknown phase {ph!r} in {ev}")
+        if "name" not in ev:
+            fail(f"event without name: {ev}")
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                named_lanes.add(ev["tid"])
+            continue
+        if "ts" not in ev:
+            fail(f"event without ts: {ev}")
+        if ph == "C":
+            continue
+        if "dur" not in ev:
+            fail(f"complete event without dur: {ev}")
+        if ev["dur"] < 0:
+            fail(f"negative duration: {ev}")
+        lanes.add(ev["tid"])
+        span_args = ev.get("args", {})
+        if "id" not in span_args or "parent" not in span_args:
+            fail(f"span without id/parent args: {ev}")
+        spans[span_args["id"]] = ev
+
+    for ev in spans.values():
+        parent = ev["args"]["parent"]
+        if parent != 0 and parent not in spans:
+            fail(f"dangling parent {parent} of span {ev['name']!r}")
+
+    def depth(ev):
+        d, seen = 1, set()
+        while ev["args"]["parent"] != 0:
+            if ev["args"]["id"] in seen:
+                fail("parent cycle")
+            seen.add(ev["args"]["id"])
+            ev = spans[ev["args"]["parent"]]
+            d += 1
+        return d
+
+    max_depth = max(depth(ev) for ev in spans.values())
+    if max_depth < args.min_depth:
+        fail(f"max nesting depth {max_depth} < required {args.min_depth}")
+
+    if len(lanes) < args.min_lanes:
+        fail(f"{len(lanes)} lanes < required {args.min_lanes}")
+    unnamed = lanes - named_lanes
+    if unnamed:
+        fail(f"lanes without thread_name metadata: {sorted(unnamed)}")
+
+    print(
+        f"check_trace: OK: {len(spans)} spans, max depth {max_depth}, "
+        f"{len(lanes)} lanes ({len(events)} events)"
+    )
+
+
+if __name__ == "__main__":
+    main()
