@@ -13,6 +13,23 @@
 
 namespace qc::bits {
 
+/// The single-bit mask 2^k, computed at index_t width. This is the
+/// sanctioned spelling for "one shifted by a runtime amount": a raw
+/// `1 << k` shifts at int width, which is undefined behaviour the moment
+/// k reaches 31 — and silently wrong long before an amplitude index
+/// needs it. tools/lint.py rejects raw `1 <<` on variable shift counts.
+constexpr index_t bit(qubit_t k) noexcept {
+  assert(k < 64);
+  return index_t{1} << k;
+}
+
+/// Mask with the low `k` bits set, for k in [0, 64] (k given as int
+/// because rank/node counts are ints throughout the cluster layer).
+constexpr index_t mask(int k) noexcept {
+  assert(k >= 0 && k <= 64);
+  return k >= 64 ? ~index_t{0} : (index_t{1} << k) - 1;
+}
+
 /// Value of bit `k` of `i` (0 or 1).
 constexpr index_t get(index_t i, qubit_t k) noexcept { return (i >> k) & index_t{1}; }
 

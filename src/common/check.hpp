@@ -1,0 +1,77 @@
+// Debug invariant macros — the repo's assert with an error you can test.
+//
+// QC_CHECK(cond) / QC_CHECK_MSG(cond, msg) verify internal invariants
+// that are too expensive (or too paranoid) for Release hot paths:
+// norm preservation at engine segment boundaries, plan well-formedness
+// before execution, schedule bookkeeping. They are compiled out in
+// Release builds (zero cost, condition not evaluated) and enabled in
+// Debug and sanitizer builds:
+//
+//  * default: on iff NDEBUG is not defined (i.e. Debug builds);
+//  * the QC_SANITIZE CMake option defines QC_ENABLE_CHECKS=1 so the
+//    sanitizer CI matrix runs with invariants armed even in optimized
+//    builds;
+//  * -DQC_ENABLE_CHECKS=0/1 overrides either way.
+//
+// A failed check throws qc::CheckError (a std::logic_error carrying
+// expression, file and line) rather than aborting: invariant failures
+// unwind through ClusterSession's abort/recovery path like any other
+// rank error, and negative tests can assert that a deliberately
+// corrupted structure is caught.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qc {
+
+/// Thrown by QC_CHECK / QC_CHECK_MSG on a violated invariant.
+struct CheckError : std::logic_error {
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string what = "QC_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw CheckError(what);
+}
+
+}  // namespace detail
+}  // namespace qc
+
+#ifndef QC_ENABLE_CHECKS
+#ifdef NDEBUG
+#define QC_ENABLE_CHECKS 0
+#else
+#define QC_ENABLE_CHECKS 1
+#endif
+#endif
+
+#if QC_ENABLE_CHECKS
+/// Throws qc::CheckError when `cond` is false. Compiled out (condition
+/// unevaluated) when QC_ENABLE_CHECKS is 0.
+#define QC_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) ::qc::detail::check_failed(#cond, __FILE__, __LINE__, {});   \
+  } while (false)
+/// QC_CHECK with a context message; `msg` may be any expression
+/// convertible to std::string and is only evaluated on failure.
+#define QC_CHECK_MSG(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) ::qc::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+#else
+#define QC_CHECK(cond) ((void)0)
+#define QC_CHECK_MSG(cond, msg) ((void)0)
+#endif

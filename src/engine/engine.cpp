@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -61,6 +62,15 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
         break;
       case OpKind::GateSegment:
         backend->run_gates(sv, op.gates);
+        // Gate segments are unitary: the 2-norm must survive each one.
+        // Backends holding the state resident elsewhere leave sv's
+        // (normalized) host copy untouched mid-run; their real check
+        // runs after end_run below. Tolerance scales with the number of
+        // rounding sites in the norm reduction itself.
+        QC_CHECK_MSG(std::abs(sv.norm_sq() - 1.0) <
+                         1e-12 * static_cast<double>(dim(prog->qubits())) + 1e-9,
+                     "gate segment broke norm preservation: |psi|^2 = " +
+                         std::to_string(sv.norm_sq()));
         break;
       default:
         backend->run_highlevel(sv, op);
@@ -80,6 +90,11 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
     WallTimer t;
     obs::Span fin_span("[finalize]");
     backend->end_run(sv);
+    // The flushed-back state covers resident backends' whole run.
+    QC_CHECK_MSG(std::abs(sv.norm_sq() - 1.0) <
+                     1e-12 * static_cast<double>(dim(prog->qubits())) + 1e-9,
+                 "run left a non-normalized state: |psi|^2 = " +
+                     std::to_string(sv.norm_sq()));
     const BackendCounters after = backend->counters();
     fin_span.arg("host_bytes", static_cast<double>(after.host_bytes - before.host_bytes));
     fin_span.arg("net_bytes", static_cast<double>(after.net_bytes - before.net_bytes));

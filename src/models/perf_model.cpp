@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/bits.hpp"
+
 namespace qc::models {
 
 MachineParams MachineParams::local(double fft_gflops, double b_mem_gbs, double b_net_gbs) {
@@ -40,7 +42,7 @@ std::vector<WeakScalingPoint> fig3_series(qubit_t n_min, qubit_t n_max,
   for (qubit_t n = n_min; n <= n_max; ++n) {
     WeakScalingPoint p;
     p.qubits = n;
-    p.nodes = 1 << (n - n_min);
+    p.nodes = static_cast<int>(bits::bit(n - n_min));
     p.t_simulate = t_qft_seconds(n, p.nodes, m);
     p.t_emulate = t_fft_seconds(n, p.nodes, m);
     series.push_back(p);

@@ -83,7 +83,13 @@ Tracer::~Tracer() {
   g_current.compare_exchange_strong(self, nullptr, std::memory_order_release);
 }
 
-Tracer* Tracer::current() noexcept { return g_current.load(std::memory_order_relaxed); }
+Tracer* Tracer::current() noexcept {
+  // Acquire pairs with set_current's release store: a worker thread that
+  // observes the pointer must also observe the Tracer's constructed
+  // state. Free on x86, and the difference between a clean TSan run and
+  // a genuine publish race.
+  return g_current.load(std::memory_order_acquire);
+}
 
 void Tracer::set_current(Tracer* t) noexcept {
   g_current.store(t, std::memory_order_release);

@@ -12,8 +12,9 @@
 //
 // Cost contract:
 //  * disabled (no current tracer — the default): constructing a Span or
-//    bumping a counter is one relaxed atomic load and a branch, so the
-//    instrumentation can stay compiled into every hot path;
+//    bumping a counter is one acquire atomic load (free on x86) and a
+//    branch, so the instrumentation can stay compiled into every hot
+//    path;
 //  * enabled: one uncontended mutex lock per finished span / counter
 //    bump into the calling thread's own buffer (threads never share a
 //    buffer, so rank threads trace concurrently without contention).
@@ -93,8 +94,8 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// The process-wide current tracer (nullptr = tracing disabled). One
-  /// relaxed atomic load — the only cost instrumentation pays when
-  /// tracing is off.
+  /// acquire atomic load (free on x86) — the only cost instrumentation
+  /// pays when tracing is off.
   [[nodiscard]] static Tracer* current() noexcept;
 
   /// Installs/clears the current tracer. Passing nullptr disables

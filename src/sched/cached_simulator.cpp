@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "models/perf_model.hpp"
 #include "obs/trace.hpp"
+#include "sched/verify_plan.hpp"
 #include "sim/kernels.hpp"
 
 namespace qc::sched {
@@ -84,6 +85,12 @@ BlockedPlan CachedSimulator::plan(const circuit::Circuit& c) const {
 void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
   if (a.size() != dim(plan.n))
     throw std::invalid_argument("execute_blocked: amplitude count mismatch");
+#if QC_ENABLE_CHECKS
+  // Debug/sanitizer builds re-verify every plan at the execution
+  // boundary: anything that reaches the kernels has proven coverage,
+  // bijective remaps and in-budget chunks (see sched/verify_plan.hpp).
+  verify_plan(plan);
+#endif
   // Each plan item is priced at (multiples of) one full memory pass —
   // t_state_pass_seconds is the prediction every span carries, so the
   // model report can show how far this machine is from the Eq. 6

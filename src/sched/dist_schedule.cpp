@@ -9,6 +9,7 @@
 #include "models/perf_model.hpp"
 #include "obs/trace.hpp"
 #include "sched/cached_simulator.hpp"
+#include "sched/verify_plan.hpp"
 
 namespace qc::sched {
 
@@ -164,6 +165,9 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
     std::iota(perm.begin(), perm.end(), qubit_t{0});
     std::iota(inv.begin(), inv.end(), qubit_t{0});
   }
+#if QC_ENABLE_CHECKS
+  const std::vector<qubit_t> initial_perm = perm;
+#endif
   const auto commit_swaps = [&](const std::vector<std::array<qubit_t, 2>>& swaps) {
     for (const auto& s : swaps) {
       const qubit_t qa = inv[s[0]], qb = inv[s[1]];
@@ -300,6 +304,18 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
     plan_span.arg("exchanges", static_cast<double>(plan.exchanges()));
     plan_span.arg("per_gate", static_cast<double>(plan.globals()));
   }
+#if QC_ENABLE_CHECKS
+  // Debug/sanitizer builds verify every plan before handing it out, and
+  // cross-check the verifier's replayed permutation against the
+  // scheduler's own bookkeeping (see sched/verify_plan.hpp).
+  if (perm_io == nullptr) {
+    verify_plan(plan);
+  } else {
+    std::vector<qubit_t> replayed;
+    verify_plan(plan, initial_perm, &replayed);
+    QC_CHECK_MSG(replayed == perm, "dist_schedule: plan replay disagrees with perm_io");
+  }
+#endif
   return plan;
 }
 

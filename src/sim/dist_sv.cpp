@@ -84,7 +84,7 @@ void DistStateVector::exchange_and_combine(qubit_t rank_bit, const kernels::U2& 
     span.arg("bytes", static_cast<double>(local_.size() * sizeof(complex_t)));
     span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
   }
-  const int partner = comm_->rank() ^ (1 << rank_bit);
+  const int partner = comm_->rank() ^ static_cast<int>(bits::bit(rank_bit));
   const int my_bit = (comm_->rank() >> rank_bit) & 1;
   comm_->sendrecv<complex_t>(partner, {local_.data(), local_.size()},
                              {scratch_.data(), scratch_.size()});
@@ -242,7 +242,7 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
     const qubit_t ba = p[0] - nl_, bb = p[1] - nl_;
     if (bits::get(static_cast<index_t>(gg_rank), ba) !=
         bits::get(static_cast<index_t>(gg_rank), bb))
-      gg_rank ^= (1 << ba) | (1 << bb);
+      gg_rank ^= static_cast<int>(bits::bit(ba) | bits::bit(bb));
   }
   const index_t sub = dim(nl_) >> k;  // amplitudes per sub-block
   const index_t blocks = dim(k);

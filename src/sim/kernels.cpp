@@ -123,7 +123,7 @@ namespace {
 /// Multiplies the `count` complex amplitudes at `c` by the scalar d.
 inline void scale_run(complex_t* c, index_t count, complex_t d) {
   const double dr = d.real(), di = d.imag();
-  auto* p = reinterpret_cast<double*>(c);
+  double* p = real_imag_planes(c);
   for (index_t i = 0; i < 2 * count; i += 2) {
     const double xr = p[i], xi = p[i + 1];
     p[i] = xr * dr - xi * di;
@@ -174,7 +174,7 @@ void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, inde
     const index_t size = dim(n);
     const double ar = u.m00.real(), ai = u.m00.imag(), br = u.m01.real(), bi = u.m01.imag();
     const double cr = u.m10.real(), ci = u.m10.imag(), dr = u.m11.real(), di = u.m11.imag();
-    auto* p = reinterpret_cast<double*>(a.data());
+    double* p = real_imag_planes(a.data());
     for (index_t g = 0; g < size; g += tbit << 1) {
       double* p0 = p + 2 * g;
       double* p1 = p + 2 * (g + tbit);
@@ -380,9 +380,9 @@ void apply_multi2_serial(std::span<complex_t> a, qubit_t n, qubit_t t0, qubit_t 
     for (index_t g0 = g1; g0 < g1 + b1; g0 += b0 << 1) {
       // Four interleaved runs of b0 amplitudes: local basis {00,01,10,11}
       // at offsets {0, b0, b1, b0 + b1} (local bit 0 <-> t0).
-      double* p0 = reinterpret_cast<double*>(a.data() + g0);
+      double* p0 = real_imag_planes(a.data() + g0);
       double* p1 = p0 + 2 * b0;
-      double* p2 = reinterpret_cast<double*>(a.data() + g0 + b1);
+      double* p2 = real_imag_planes(a.data() + g0 + b1);
       double* p3 = p2 + 2 * b0;
       for (index_t i = 0; i < 2 * b0; i += 2) {
         const double xr[4] = {p0[i], p1[i], p2[i], p3[i]};

@@ -39,6 +39,23 @@ struct U2 {
   complex_t m00, m01, m10, m11;
 };
 
+/// The sanctioned way to view a run of complex amplitudes as interleaved
+/// {re, im} double pairs (amplitude j at planes[2j], planes[2j + 1]).
+/// [complex.numbers.general]/4 guarantees this array compatibility: for
+/// an array a of std::complex<double>, reinterpret_cast<double*>(a)[2j]
+/// and [2j + 1] designate the real and imaginary parts of a[j]. The
+/// vectorized serial kernels use it to auto-vectorize over contiguous
+/// runs; every complex->double reinterpretation in the codebase must go
+/// through this accessor so the (single, standard-blessed) aliasing
+/// assumption is written down exactly once.
+inline double* real_imag_planes(complex_t* c) noexcept {
+  return reinterpret_cast<double*>(c);
+}
+
+inline const double* real_imag_planes(const complex_t* c) noexcept {
+  return reinterpret_cast<const double*>(c);
+}
+
 /// Expands a compressed index to a full basis index by re-inserting 0
 /// bits at the given (ascending) positions. Enumerating j in
 /// [0, 2^{n-k}) and expanding visits every index whose k special bits

@@ -52,7 +52,12 @@ TEST_P(DistTranspose, MatchesLocalTranspose) {
         global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * in_chunk));
     aligned_vector<complex_t> local_out(out_chunk);
     dist_transpose(comm, local_in, local_out, rows, cols);
-    comm.allgather<complex_t>(local_out, gathered);
+    // allgather output is per-caller: every rank receives the full
+    // result, so each rank gathers into its own buffer and only rank 0
+    // publishes to the shared one.
+    aligned_vector<complex_t> mine(static_cast<std::size_t>(rows * cols));
+    comm.allgather<complex_t>(local_out, mine);
+    if (comm.rank() == 0) gathered = std::move(mine);
   });
   EXPECT_EQ(max_diff(gathered, expected), 0.0);
 }
@@ -79,7 +84,9 @@ TEST_P(DistFft, MatchesLocalFft) {
         global.begin() + static_cast<std::ptrdiff_t>(comm.rank() * chunk),
         global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
     dist_fft(comm, local, n, Sign::Positive, Norm::Unitary);
-    comm.allgather<complex_t>(local, gathered);
+    aligned_vector<complex_t> mine(static_cast<std::size_t>(size));
+    comm.allgather<complex_t>(local, mine);
+    if (comm.rank() == 0) gathered = std::move(mine);
   });
   EXPECT_LT(max_diff(gathered, expected), 1e-10 * std::sqrt(static_cast<double>(size)));
 }
@@ -97,7 +104,9 @@ TEST_P(DistFft, RoundTripRestoresInput) {
         global.begin() + static_cast<std::ptrdiff_t>((comm.rank() + 1) * chunk));
     dist_fft(comm, local, n, Sign::Positive, Norm::None);
     dist_fft(comm, local, n, Sign::Negative, Norm::Inverse);
-    comm.allgather<complex_t>(local, gathered);
+    aligned_vector<complex_t> mine(static_cast<std::size_t>(size));
+    comm.allgather<complex_t>(local, mine);
+    if (comm.rank() == 0) gathered = std::move(mine);
   });
   EXPECT_LT(max_diff(gathered, global), 1e-9);
 }

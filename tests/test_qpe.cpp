@@ -230,7 +230,7 @@ TEST(IterativeQpe, MatchesCoherentOnTfimEigenstate) {
   // Iterative QPE samples the same distribution for eigenvector inputs:
   // over many trials the modal outcome must match.
   Rng rng(7);
-  std::vector<int> histogram(1 << b, 0);
+  std::vector<int> histogram(std::size_t{1} << b, 0);
   for (int trial = 0; trial < 40; ++trial)
     ++histogram[iterative_phase_estimation(c, input, b, rng).outcome];
   const index_t mode = static_cast<index_t>(

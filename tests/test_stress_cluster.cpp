@@ -1,0 +1,185 @@
+// Concurrency stress tests — written for the TSan leg of the CI matrix.
+//
+// These tests exist to give the race detector coverage of the paths
+// where threads hand data to each other: ClusterSession's abort /
+// recovery cycle (a failing rank aborts peers mid-communication, the
+// session drains mailboxes and re-arms), the submit-while-running job
+// queue, oversubscribed rank counts (more rank threads than cores, so
+// preemption lands mid-protocol), and the Tracer's cross-thread span
+// parenting (rank threads record into per-thread logs while the
+// submitting thread's current span becomes their parent). They assert
+// functional outcomes too, so they still earn their keep under ASan and
+// plain Release runs — but their real job is to make TSan look at the
+// handoffs, many times, under scheduling pressure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "obs/trace.hpp"
+
+namespace qc {
+namespace {
+
+using cluster::ClusterAborted;
+using cluster::ClusterSession;
+using cluster::Comm;
+
+TEST(StressCluster, RepeatedAbortRecoveryCycles) {
+  constexpr int kRanks = 4;
+  constexpr int kCycles = 30;
+  ClusterSession session(kRanks, 1);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    // One rank fails while its peers are blocked in a communication
+    // ring; everyone must unwind (ClusterAborted in the peers), the
+    // root cause must surface from sync(), and the session must be
+    // usable again immediately.
+    const int victim = cycle % kRanks;
+    session.submit([victim](Comm& comm) {
+      if (comm.rank() == victim) throw std::runtime_error("rank failure");
+      int token = comm.rank();
+      // Blocks against the failing rank eventually; must wake aborted.
+      comm.sendrecv<int>((comm.rank() + 1) % comm.size(),
+                         std::span<const int>(&token, 1), std::span<int>(&token, 1));
+    });
+    try {
+      session.sync();
+      FAIL() << "sync did not rethrow the rank failure";
+    } catch (const std::runtime_error& e) {
+      // Root cause, not the secondary ClusterAborted.
+      EXPECT_STREQ(e.what(), "rank failure");
+    }
+    // Recovery proof: a full collective over freshly-drained mailboxes.
+    std::atomic<int> sum{0};
+    session.submit([&sum](Comm& comm) {
+      sum += comm.allreduce_sum(comm.rank());
+    });
+    session.sync();
+    EXPECT_EQ(sum.load(), kRanks * (kRanks * (kRanks - 1) / 2));
+  }
+}
+
+TEST(StressCluster, AbortDuringQueuedBatchSkipsRestOfBatch) {
+  constexpr int kRanks = 3;
+  ClusterSession session(kRanks, 1);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::atomic<int> ran_after_failure{0};
+    session.submit([](Comm&) {});  // healthy leading job
+    session.submit([](Comm& comm) {
+      if (comm.rank() == 1) throw std::logic_error("mid-batch failure");
+      comm.barrier();
+    });
+    session.submit([&ran_after_failure](Comm&) { ran_after_failure += 1; });
+    EXPECT_THROW(session.sync(), std::logic_error);
+    // The job queued behind the failure must have been skipped on every
+    // rank — running it against half-recovered state would be a race.
+    EXPECT_EQ(ran_after_failure.load(), 0);
+  }
+}
+
+TEST(StressCluster, OversubscribedRanksExchangeUnderPressure) {
+  // More rank threads than this machine has cores: preemption lands in
+  // the middle of the mailbox protocol, which is exactly where TSan
+  // wants to look. Every rank pushes a block around a ring and checks
+  // what arrives.
+  const int kRanks = static_cast<int>(std::thread::hardware_concurrency()) + 6;
+  constexpr int kRounds = 10;
+  constexpr std::size_t kBlock = 256;
+  ClusterSession session(kRanks, 1);
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> ok{0};
+    session.submit([&ok, round](Comm& comm) {
+      std::vector<int> out(kBlock, comm.rank() + round);
+      std::vector<int> in(kBlock, -1);
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      comm.send<int>(next, out, round);
+      comm.recv<int>(prev, in, round);
+      bool good = true;
+      for (const int v : in) good = good && v == prev + round;
+      if (good) ok += 1;
+      comm.barrier();
+    });
+    session.sync();
+    EXPECT_EQ(ok.load(), kRanks);
+  }
+}
+
+TEST(StressCluster, ConcurrentSubmittersOneSession) {
+  // submit() is called from two threads while workers are draining the
+  // queue — exercises the job-log handoff (deque growth vs. workers
+  // reading elements outside the mutex).
+  constexpr int kRanks = 2;
+  constexpr int kJobsPerThread = 25;
+  ClusterSession session(kRanks, 1);
+  std::atomic<int> executed{0};
+  const auto submitter = [&] {
+    for (int j = 0; j < kJobsPerThread; ++j)
+      session.submit([&executed](Comm& comm) {
+        comm.barrier();
+        executed += 1;
+      });
+  };
+  std::thread a(submitter), b(submitter);
+  a.join();
+  b.join();
+  session.sync();
+  EXPECT_EQ(executed.load(), 2 * kJobsPerThread * kRanks);
+}
+
+TEST(StressTrace, RankSpansParentAcrossThreadsUnderAborts) {
+  // Spans recorded on rank threads must stitch under the submitting
+  // thread's open span, across repeated abort/recovery cycles, without
+  // a data race on the tracer handoff (Tracer::current's acquire load
+  // pairs with ScopedTracer's release publish).
+  constexpr int kRanks = 3;
+  constexpr int kCycles = 12;
+  obs::Tracer tracer;
+  const obs::ScopedTracer scoped(&tracer);
+  ClusterSession session(kRanks, 1);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    obs::Span op_span("stress.op");
+    session.submit([cycle](Comm& comm) {
+      obs::Span span("stress.rank_work");
+      span.arg("rank", static_cast<double>(comm.rank()));
+      if (cycle % 3 == 0 && comm.rank() == 0)
+        throw std::runtime_error("traced failure");
+      comm.barrier();
+    });
+    if (cycle % 3 == 0) {
+      EXPECT_THROW(session.sync(), std::runtime_error);
+    } else {
+      session.sync();
+    }
+    op_span.end();
+  }
+  const obs::TraceData data = tracer.collect();
+  // Every completed rank span must have a "stress.op" ancestor: the
+  // rank's span nests under its thread's cluster.job span, which the
+  // session parents under the submitting thread's open op span.
+  std::map<obs::span_id, const obs::SpanEvent*> by_id;
+  for (const auto& ev : data.spans) by_id.emplace(ev.id, &ev);
+  std::size_t rank_spans = 0, parented = 0;
+  for (const auto& ev : data.spans) {
+    if (ev.name != "stress.rank_work") continue;
+    ++rank_spans;
+    for (obs::span_id p = ev.parent; p != 0;) {
+      const auto it = by_id.find(p);
+      if (it == by_id.end()) break;
+      if (it->second->name == "stress.op") {
+        ++parented;
+        break;
+      }
+      p = it->second->parent;
+    }
+  }
+  EXPECT_GT(rank_spans, 0u);
+  EXPECT_EQ(parented, rank_spans);
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Repo lint gate — project-specific rules clang-tidy cannot express.
+
+Rules:
+
+  raw-shift        int-width shifts of 1 by a *variable* amount
+                   (`1 << k`, `1u << k`) are rejected in amplitude/rank
+                   index code: the shift promotes to int, which is
+                   undefined behaviour the moment the count reaches 31.
+                   Use bits::bit(k) / bits::mask(k) (src/common/bits.hpp)
+                   or an explicitly 64-bit literal. Literal shift counts
+                   (`1 << 20`) are fine — the compiler checks those.
+
+  naked-new        `new` expressions outside std::make_unique/make_shared
+                   are rejected in library code; ownership must be RAII
+                   from the first instruction.
+
+  submit-closure   closures handed to ClusterSession::submit run on rank
+                   threads where a thrown exception unwinds through the
+                   abort/recovery path; anything the closure acquired
+                   must release itself. Bare mutex .lock()/.unlock(),
+                   malloc/free and naked new inside a submit closure are
+                   rejected — use lock_guard/unique_lock and containers.
+
+  header-compile   every header under src/ must compile on its own
+                   (self-contained includes), checked by feeding
+                   `#include "<header>"` to the compiler per header.
+
+A finding can be waived on its line with a trailing comment:
+    foo();  // lint:allow(<rule>) -- reason
+Waivers require a reason and are themselves reported (as notes).
+
+Usage: tools/lint.py [--skip-headers] [--cxx g++]
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Library code gets every rule; tests/bench/examples still must not race
+# or UB, so raw-shift and submit-closure apply there too, but naked-new
+# is a style rule we only enforce for the library and tools.
+LIB_DIRS = ["src", "tools"]
+ALL_DIRS = ["src", "tools", "tests", "bench", "examples"]
+
+ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)\s*(?:--|—)?\s*(.*)")
+
+
+def cxx_files(dirs):
+    for d in dirs:
+        root = os.path.join(REPO, d)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".cpp", ".hpp")):
+                    yield os.path.join(dirpath, name)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay valid. Keeps the comment
+    text of lint:allow markers out — waivers are parsed from the raw
+    line separately."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i : j + 2]
+            out.append("".join(c if c == "\n" else " " for c in seg))
+            i = j + 2
+        elif ch in "\"'":
+            q = ch
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            out.append(q + " " * (j - i - 1) + q)
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Findings:
+    def __init__(self):
+        self.errors = []
+        self.notes = []
+
+    def error(self, path, line, rule, message):
+        rel = os.path.relpath(path, REPO)
+        self.errors.append(f"{rel}:{line}: [{rule}] {message}")
+
+    def note(self, path, line, message):
+        rel = os.path.relpath(path, REPO)
+        self.notes.append(f"{rel}:{line}: {message}")
+
+
+def waiver_for(raw_line: str):
+    m = ALLOW.search(raw_line)
+    if not m:
+        return None
+    return m.group(1), m.group(2).strip()
+
+
+def check_line_rule(path, raw_lines, clean_lines, rule, pattern, message, findings):
+    for lineno, clean in enumerate(clean_lines, 1):
+        if not pattern.search(clean):
+            continue
+        raw = raw_lines[lineno - 1]
+        waiver = waiver_for(raw)
+        if waiver and waiver[0] == rule:
+            if not waiver[1]:
+                findings.error(path, lineno, rule, "waiver without a reason")
+            else:
+                findings.note(path, lineno, f"waived [{rule}]: {waiver[1]}")
+            continue
+        findings.error(path, lineno, rule, message)
+
+
+# `1 << var` / `1u << var` at int width. A preceding { means a typed
+# literal (index_t{1} << k) — 64-bit, fine. A literal or sizeof RHS is
+# compiler-checked. 64-bit suffixes (1ull) don't promote to int.
+RAW_SHIFT = re.compile(r"(?<![\w{.])1[uU]?\s*<<\s*(?!\s*[0-9]|\s*sizeof\b)")
+
+# `new T` outside make_unique/make_shared; placement new would also be
+# caught, which is intended — there is none in this codebase.
+NAKED_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_:<]")
+
+
+def check_raw_shift(path, raw_lines, clean_lines, findings):
+    check_line_rule(
+        path, raw_lines, clean_lines, "raw-shift", RAW_SHIFT,
+        "int-width shift of 1 by a variable — use bits::bit()/bits::mask() "
+        "(common/bits.hpp) or a 64-bit literal", findings)
+
+
+def check_naked_new(path, raw_lines, clean_lines, findings):
+    check_line_rule(
+        path, raw_lines, clean_lines, "naked-new", NAKED_NEW,
+        "naked new — use std::make_unique/make_shared or a container", findings)
+
+
+SUBMIT = re.compile(r"\b(?:submit|run)\s*\(\s*\[")
+UNSAFE_IN_CLOSURE = [
+    (re.compile(r"\.\s*lock\s*\(\s*\)"), "bare .lock() — use std::lock_guard/unique_lock"),
+    (re.compile(r"\.\s*unlock\s*\(\s*\)"), "bare .unlock() — use std::lock_guard/unique_lock"),
+    (re.compile(r"\bmalloc\s*\("), "malloc in a rank closure — use containers"),
+    (re.compile(r"\bfree\s*\("), "free in a rank closure — use containers"),
+    (NAKED_NEW, "naked new in a rank closure — leaks when the job throws"),
+]
+
+
+def closure_extent(text: str, open_brace: int) -> int:
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def check_submit_closures(path, raw_lines, clean_text, findings):
+    """Exception-safety scan of every closure passed to submit()/run():
+    the closure body (balanced-brace extent from the lambda's opening
+    brace) must not acquire resources that a throw would strand."""
+    for m in SUBMIT.finditer(clean_text):
+        brace = clean_text.find("{", m.end())
+        if brace < 0:
+            continue
+        end = closure_extent(clean_text, brace)
+        body = clean_text[brace : end + 1]
+        body_line0 = clean_text.count("\n", 0, brace) + 1
+        for pattern, why in UNSAFE_IN_CLOSURE:
+            for bm in pattern.finditer(body):
+                lineno = body_line0 + body.count("\n", 0, bm.start())
+                raw = raw_lines[lineno - 1]
+                waiver = waiver_for(raw)
+                if waiver and waiver[0] == "submit-closure":
+                    if not waiver[1]:
+                        findings.error(path, lineno, "submit-closure",
+                                       "waiver without a reason")
+                    else:
+                        findings.note(path, lineno,
+                                      f"waived [submit-closure]: {waiver[1]}")
+                    continue
+                findings.error(path, lineno, "submit-closure", why)
+
+
+def check_headers(cxx: str, findings) -> bool:
+    """Compiles `#include "<header>"` for every header under src/."""
+    headers = [p for p in cxx_files(["src"]) if p.endswith(".hpp")]
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for header in headers:
+            rel = os.path.relpath(header, os.path.join(REPO, "src"))
+            tu = os.path.join(tmp, "header_check.cpp")
+            with open(tu, "w") as f:
+                f.write(f'#include "{rel}"\n')
+            cmd = [cxx, "-std=c++20", "-fsyntax-only", "-fopenmp",
+                   "-I", os.path.join(REPO, "src"), tu]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                ok = False
+                findings.error(header, 1, "header-compile",
+                               "header is not self-contained:\n"
+                               + proc.stderr.strip())
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--skip-headers", action="store_true",
+                    help="skip the compile-each-header check (no compiler needed)")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "g++"),
+                    help="compiler for the header check (default: $CXX or g++)")
+    args = ap.parse_args()
+
+    findings = Findings()
+    for path in cxx_files(ALL_DIRS):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        clean_text = strip_comments_and_strings(text)
+        clean_lines = clean_text.splitlines()
+        check_raw_shift(path, raw_lines, clean_lines, findings)
+        if any(os.path.relpath(path, REPO).startswith(d + os.sep) for d in LIB_DIRS):
+            check_naked_new(path, raw_lines, clean_lines, findings)
+        if "cluster" in clean_text or "submit" in clean_text:
+            check_submit_closures(path, raw_lines, clean_text, findings)
+
+    if not args.skip_headers:
+        check_headers(args.cxx, findings)
+
+    for note in findings.notes:
+        print(f"note: {note}")
+    for err in findings.errors:
+        print(f"error: {err}")
+    if findings.errors:
+        print(f"\nlint: {len(findings.errors)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
