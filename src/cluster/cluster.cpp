@@ -3,7 +3,10 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "common/parallel.hpp"
@@ -30,6 +33,9 @@ void SharedState::abort_all() {
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("send: bad destination rank");
   if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+  // Drop-capable site: a fired Drop rule loses the message here, and the
+  // receiver's deadline turns the loss into a TimeoutError.
+  if (fault_point("cluster.send", rank_, /*can_drop=*/true)) return;
   detail::Mailbox& box = state_->box(rank_, dst);
   detail::Message msg;
   msg.tag = tag;
@@ -43,7 +49,14 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
 
 void Comm::recv_bytes(int src, std::span<std::byte> data, int tag) {
   if (src < 0 || src >= size()) throw std::invalid_argument("recv: bad source rank");
+  fault_point("cluster.recv", rank_);
   detail::Mailbox& box = state_->box(src, rank_);
+  // Deadline snapshot taken on entry: a budget change mid-wait applies
+  // to the next blocking call.
+  const double budget_s = state_->timeout_s.load(std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(budget_s > 0 ? budget_s : 0));
   std::unique_lock lock(box.mutex);
   for (;;) {
     if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
@@ -57,7 +70,25 @@ void Comm::recv_bytes(int src, std::span<std::byte> data, int tag) {
       box.queue.erase(it);
       return;
     }
-    box.cv.wait(lock);
+    if (budget_s <= 0) {
+      box.cv.wait(lock);
+    } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-check under the lock before declaring a timeout: the message
+      // or the abort may have raced the deadline.
+      if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
+      const bool arrived =
+          std::find_if(box.queue.begin(), box.queue.end(), [tag](const detail::Message& m) {
+            return m.tag == tag;
+          }) != box.queue.end();
+      if (arrived) continue;
+      // abort_all locks every mailbox, including this one.
+      lock.unlock();
+      obs::counter_add("fault.timeouts", 1);
+      state_->abort_all();
+      throw TimeoutError("recv from rank " + std::to_string(src) + " (tag " +
+                         std::to_string(tag) + ") timed out after " +
+                         std::to_string(budget_s) + " s");
+    }
   }
 }
 
@@ -65,7 +96,9 @@ void Comm::barrier() {
   // Barrier wait is where load imbalance hides: the per-lane sum of
   // these spans is the time this rank spent waiting for slower peers.
   obs::Span wait_span("cluster.barrier");
+  fault_point("cluster.barrier", rank_);
   detail::Barrier& b = state_->barrier;
+  const double budget_s = state_->timeout_s.load(std::memory_order_relaxed);
   std::unique_lock lock(b.mutex);
   if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
   const std::uint64_t gen = b.generation;
@@ -75,9 +108,19 @@ void Comm::barrier() {
     b.cv.notify_all();
     return;
   }
-  b.cv.wait(lock, [&] {
+  const auto released = [&] {
     return b.generation != gen || state_->aborted.load(std::memory_order_relaxed);
-  });
+  };
+  if (budget_s <= 0) {
+    b.cv.wait(lock, released);
+  } else if (!b.cv.wait_for(lock, std::chrono::duration<double>(budget_s), released)) {
+    // Deadline expired with peers still missing. The barrier count we
+    // contributed is reset by recover_locked once all ranks unwind.
+    lock.unlock();
+    obs::counter_add("fault.timeouts", 1);
+    state_->abort_all();
+    throw TimeoutError("barrier timed out after " + std::to_string(budget_s) + " s");
+  }
   if (state_->aborted.load(std::memory_order_relaxed)) throw ClusterAborted{};
 }
 
@@ -108,6 +151,12 @@ double Comm::allreduce_max(double local) {
 
 namespace {
 
+/// The sync() watchdog fires only after this many timeout budgets pass
+/// with no job completing: individual recv/barrier waits are already
+/// bounded by one budget each, so the watchdog is the backstop for a
+/// rank wedged *outside* any instrumented wait.
+constexpr double kSyncGraceFactor = 4.0;
+
 /// True when `e` is (exactly) the secondary ClusterAborted wake-up —
 /// used to prefer reporting a root-cause error from a peer rank.
 bool is_cluster_aborted(const std::exception_ptr& e) {
@@ -130,8 +179,22 @@ ClusterSession::ClusterSession(int ranks, int omp_threads_per_rank) : ranks_(ran
     omp_threads_per_rank_ = omp_threads_per_rank;
   }
   state_ = std::make_unique<detail::SharedState>(ranks_);
+  // Deadlines default off; QC_CLUSTER_TIMEOUT_S arms them process-wide
+  // (e.g. for a whole CI leg) without touching call sites.
+  if (const char* env = std::getenv("QC_CLUSTER_TIMEOUT_S")) {
+    const double v = std::atof(env);
+    if (v > 0) state_->timeout_s.store(v, std::memory_order_relaxed);
+  }
   threads_.reserve(static_cast<std::size_t>(ranks_));
   for (int r = 0; r < ranks_; ++r) threads_.emplace_back([this, r] { worker(r); });
+}
+
+void ClusterSession::set_timeout(double seconds) noexcept {
+  state_->timeout_s.store(seconds > 0 ? seconds : 0, std::memory_order_relaxed);
+}
+
+double ClusterSession::timeout() const noexcept {
+  return state_->timeout_s.load(std::memory_order_relaxed);
 }
 
 ClusterSession::~ClusterSession() {
@@ -179,6 +242,7 @@ void ClusterSession::worker(int rank) {
       job_span.arg("job", static_cast<double>(j));
       job_span.arg("rank", static_cast<double>(rank));
       try {
+        fault_point("cluster.job", rank);
         (job->fn)(comm);
       } catch (...) {
         err = std::current_exception();
@@ -242,15 +306,50 @@ void ClusterSession::sync() {
   if (detail::session_worker == this)
     throw std::logic_error("ClusterSession::sync: called from inside this session's job");
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return completed_ == jobs_.size(); });
-  failed_batch_ = false;  // re-arm: jobs submitted after sync() run again
-  if (error_ != nullptr) {
-    const std::exception_ptr e = error_;
-    error_ = nullptr;
-    error_is_aborted_ = true;
-    lock.unlock();
-    std::rethrow_exception(e);
+  const double budget_s = state_->timeout_s.load(std::memory_order_relaxed);
+  bool watchdog_fired = false;
+  if (budget_s <= 0) {
+    cv_.wait(lock, [&] { return completed_ == jobs_.size(); });
+  } else {
+    // Watchdog: when no job completes for a whole grace window, assume
+    // a wedged rank and abort the cluster — peers blocked in
+    // communication wake with ClusterAborted, the job finishes on every
+    // rank, the session recovers, and the batch fails with
+    // TimeoutError. A rank hung in pure compute still cannot be
+    // preempted (same as MPI); its eventual return completes the wait.
+    const auto grace = std::chrono::duration<double>(budget_s * kSyncGraceFactor);
+    std::size_t last_progress = completed_;
+    while (completed_ != jobs_.size()) {
+      const bool moved = cv_.wait_for(lock, grace, [&] {
+        return completed_ == jobs_.size() || completed_ != last_progress;
+      });
+      if (moved) {
+        last_progress = completed_;
+        continue;
+      }
+      if (!watchdog_fired) {
+        watchdog_fired = true;
+        obs::counter_add("fault.timeouts", 1);
+        // Lock order stays mutex_ -> mailbox/barrier, matching the
+        // recover_locked path; workers never hold both in reverse.
+        state_->abort_all();
+      }
+    }
   }
+  failed_batch_ = false;  // re-arm: jobs submitted after sync() run again
+  const std::exception_ptr e = error_;
+  const bool only_aborted = error_is_aborted_;
+  error_ = nullptr;
+  error_is_aborted_ = true;
+  lock.unlock();
+  // The watchdog's own abort shows up in the ranks as ClusterAborted;
+  // surface the root cause (the wedge) as a TimeoutError unless a rank
+  // recorded a more specific error of its own.
+  if (watchdog_fired && (e == nullptr || only_aborted))
+    throw TimeoutError("sync watchdog: no job progress within " +
+                       std::to_string(budget_s * kSyncGraceFactor) +
+                       " s; cluster aborted");
+  if (e != nullptr) std::rethrow_exception(e);
 }
 
 void ClusterSession::run(const std::function<void(Comm&)>& fn) {

@@ -19,6 +19,16 @@
 //    send order (MPI's non-overtaking rule).
 //  * If any rank throws, the cluster aborts: every blocked call wakes and
 //    throws ClusterAborted, and Cluster::run rethrows the original error.
+//  * Blocking operations honor a per-session deadline (set_timeout /
+//    QC_CLUSTER_TIMEOUT_S): a recv or barrier that waits past the
+//    budget aborts the cluster and throws TimeoutError, and sync()
+//    runs a watchdog that converts a wedge (no job completing within a
+//    grace multiple of the budget) into the same clean abort. A rank
+//    hung in pure *compute* cannot be preempted — the same limitation
+//    real MPI has — but every communication wait is bounded.
+//  * Named fault-injection sites (cluster.send/recv/sendrecv/barrier/
+//    job) call cluster::fault_point, so a deterministic FaultInjector
+//    (fault.hpp) can exercise all of the above on demand.
 //
 // The runtime is persistent: a ClusterSession spawns its rank threads
 // once and parks them on a job queue. submit() enqueues a closure that
@@ -43,13 +53,16 @@
 #include <type_traits>
 #include <vector>
 
+#include "cluster/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace qc::cluster {
 
-/// Thrown in blocked ranks when a peer rank failed.
-struct ClusterAborted : std::runtime_error {
-  ClusterAborted() : std::runtime_error("cluster aborted by peer failure") {}
+/// Thrown in blocked ranks when a peer rank failed. The secondary
+/// wake-up, never the root cause — and not retryable on its own (the
+/// peer's root-cause error decides whether the batch can be retried).
+struct ClusterAborted : ClusterError {
+  ClusterAborted() : ClusterError("cluster aborted by peer failure") {}
 };
 
 namespace detail {
@@ -80,6 +93,8 @@ struct SharedState {
   std::vector<Mailbox> boxes;  // index: src * size + dst
   Barrier barrier;
   std::atomic<bool> aborted{false};
+  /// Deadline budget for blocking operations, seconds; <= 0 disables.
+  std::atomic<double> timeout_s{0};
 
   Mailbox& box(int src, int dst) {
     return boxes[static_cast<std::size_t>(src) * size + dst];
@@ -124,6 +139,7 @@ class Comm {
   /// Safe under eager sends regardless of ordering.
   template <typename T>
   void sendrecv(int peer, std::span<const T> out, std::span<T> in, int tag = 0) {
+    fault_point("cluster.sendrecv", rank_);
     send(peer, out, tag);
     recv(peer, in, tag);
   }
@@ -297,6 +313,15 @@ class ClusterSession {
   ClusterSession& operator=(const ClusterSession&) = delete;
 
   [[nodiscard]] int ranks() const noexcept { return ranks_; }
+
+  /// Deadline budget for blocking operations (recv, barrier) and the
+  /// sync() watchdog, in seconds; <= 0 disables deadlines (the
+  /// default, unless QC_CLUSTER_TIMEOUT_S set one at construction). A
+  /// wait that exceeds the budget aborts the cluster and throws
+  /// TimeoutError on the waiting rank; the session recovers exactly as
+  /// for any other abort.
+  void set_timeout(double seconds) noexcept;
+  [[nodiscard]] double timeout() const noexcept;
 
   /// Enqueues `fn` to run on every rank; returns immediately. Throws
   /// std::logic_error when called from inside a job (nested submit).

@@ -1,12 +1,17 @@
 #include "engine/backend.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <map>
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "cluster/cluster.hpp"
+#include "cluster/fault.hpp"
 #include "emu/dist_emu.hpp"
 #include "emu/observables.hpp"
 #include "fuse/fused_simulator.hpp"
@@ -128,7 +133,10 @@ class DistBackend final : public Backend {
   explicit DistBackend(const RunOptions& opts)
       : ranks_(opts.dist_ranks),
         policy_(opts.dist_policy),
-        resident_mode_(opts.dist_resident) {
+        resident_mode_(opts.dist_resident),
+        timeout_s_(opts.dist_timeout_s),
+        ckpt_interval_(opts.dist_checkpoint_interval),
+        max_retries_(opts.dist_max_retries) {
     if (ranks_ < 1 || !bits::is_pow2(static_cast<index_t>(ranks_)))
       throw std::invalid_argument("dist backend: rank count must be a power of two >= 1");
     dopts_.fusion = opts.fusion;
@@ -147,36 +155,82 @@ class DistBackend final : public Backend {
   void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
     if (c.empty()) return;
     ensure_resident(sv);
+    // Checkpoint *before* planning, so the segment about to run joins
+    // the replay log of the checkpoint it would restore to.
+    maybe_checkpoint();
     const auto nl = static_cast<qubit_t>(resident_n_ - session_global_qubits());
-    const sched::DistPlan plan = sched::dist_schedule(c, nl, dopts_, &perm_);
-    session_->submit([this, plan](cluster::Comm& comm) {
-      sched::run_dist_plan(*slots_[static_cast<std::size_t>(comm.rank())], plan, policy_);
-    });
-    session_->sync();
-    snapshot_net();
+    for (int attempt = 0;; ++attempt) {
+      const std::vector<qubit_t> perm_before = perm_;
+      try {
+        sched::DistPlan plan = sched::dist_schedule(c, nl, dopts_, &perm_);
+        session_->submit([this, plan](cluster::Comm& comm) {
+          sched::run_dist_plan(*slots_[static_cast<std::size_t>(comm.rank())], plan,
+                               policy_);
+        });
+        session_->sync();
+        snapshot_net();
+        if (checkpoints_enabled()) {
+          replay_pred_s_ += sched::predicted_seconds(plan, {});
+          ++segments_since_ckpt_;
+          replay_log_.push_back({std::move(plan), perm_});
+        }
+        break;
+      } catch (...) {
+        perm_ = perm_before;
+        // Retry only with a complete replay log: without checkpointing
+        // there is no way back to the segment's start state, so the
+        // typed error propagates (the engine may degrade).
+        if (!checkpoints_enabled() || !cluster::retryable_fault(std::current_exception()) ||
+            attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+        restore_and_replay();
+      }
+    }
     if (!resident_mode_) flush_to_host();
   }
 
   index_t measure_register(sim::StateVector& sv, RegRef r, double u,
                            bool collapse) override {
     ensure_resident(sv);
+    // Collapse destroys the pre-measurement state, and — unlike a gate
+    // segment — cannot be replayed from the plan log. Force a checkpoint
+    // of the pre-collapse state so a mid-collapse fault can retry.
+    if (collapse) maybe_checkpoint(/*force=*/true);
     // Measure through the live permutation: bit j of the outcome reads
     // the physical position of logical qubit offset+j. No restore pass.
     std::vector<qubit_t> phys(r.width);
     for (qubit_t j = 0; j < r.width; ++j) phys[j] = perm_[r.offset + j];
     index_t outcome = 0;
-    session_->submit([this, phys, u, collapse, &outcome](cluster::Comm& comm) {
-      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
-      const std::vector<double> dist =
-          dsv.register_distribution(std::span<const qubit_t>(phys));
-      const index_t o = sim::SampleCdf::from_weights(dist).sample(u);
-      if (comm.rank() == 0) outcome = o;
-      if (!collapse) return;  // read-only: resident state untouched
-      for (std::size_t j = 0; j < phys.size(); ++j)
-        dsv.collapse(phys[j], bits::test(o, static_cast<qubit_t>(j)) ? 1 : 0);
-    });
-    session_->sync();
-    snapshot_net();
+    for (int attempt = 0;; ++attempt) {
+      try {
+        session_->submit([this, phys, u, collapse, &outcome](cluster::Comm& comm) {
+          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          const std::vector<double> dist =
+              dsv.register_distribution(std::span<const qubit_t>(phys));
+          const index_t o = sim::SampleCdf::from_weights(dist).sample(u);
+          if (comm.rank() == 0) outcome = o;
+          if (!collapse) return;  // read-only: resident state untouched
+          for (std::size_t j = 0; j < phys.size(); ++j)
+            dsv.collapse(phys[j], bits::test(o, static_cast<qubit_t>(j)) ? 1 : 0);
+        });
+        session_->sync();
+        snapshot_net();
+        break;
+      } catch (...) {
+        // A collapsing retry needs the pre-collapse checkpoint back; a
+        // read-only measure can always re-run against intact chunks.
+        if (!cluster::retryable_fault(std::current_exception()) || attempt >= max_retries_ ||
+            (collapse && !checkpoints_enabled()))
+          throw;
+        note_retry(attempt);
+        if (collapse) restore_and_replay();
+      }
+    }
+    // The collapsed state is a new point of no return the plan log
+    // cannot reach; re-checkpoint it so later segment retries restore
+    // *post*-measurement state.
+    if (collapse && checkpoints_enabled()) take_checkpoint();
     // Per-op baseline fidelity: the pre-session code gathered only when
     // the op mutated the state — a read-only measure pays its scatter
     // and drops the chunks.
@@ -198,13 +252,24 @@ class DistBackend final : public Backend {
     for (qubit_t q = 0; mask >> q; ++q)
       if (bits::test(mask, q)) pmask = bits::set(pmask, perm_[q]);
     double value = 0;
-    session_->submit([this, pmask, &value](cluster::Comm& comm) {
-      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
-      const double v = emu::expectation_z_string(dsv, pmask);
-      if (comm.rank() == 0) value = v;
-    });
-    session_->sync();
-    snapshot_net();
+    for (int attempt = 0;; ++attempt) {
+      try {
+        session_->submit([this, pmask, &value](cluster::Comm& comm) {
+          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          const double v = emu::expectation_z_string(dsv, pmask);
+          if (comm.rank() == 0) value = v;
+        });
+        session_->sync();
+        snapshot_net();
+        break;
+      } catch (...) {
+        // Read-only reduction: the chunks are intact after a failed
+        // attempt, so retry in place without any restore.
+        if (!cluster::retryable_fault(std::current_exception()) || attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+      }
+    }
     if (!resident_mode_) discard_resident();  // read-only: no gather
     return value;
   }
@@ -250,24 +315,39 @@ class DistBackend final : public Backend {
     const int eff = effective_ranks(sv.qubits());
     if (session_ == nullptr || session_->ranks() != eff)
       session_ = std::make_unique<cluster::ClusterSession>(eff);
+    if (timeout_s_ > 0) session_->set_timeout(timeout_s_);
     const qubit_t n = sv.qubits();
-    release_slots();
-    slots_.resize(static_cast<std::size_t>(eff));
-    slot_bytes_seen_.assign(static_cast<std::size_t>(eff), 0);
     const auto amps = sv.amplitudes();
     obs::Span scatter_span("dist.scatter");
     scatter_span.arg("host_bytes", static_cast<double>(models::staging_bytes(n)));
     scatter_span.arg("pred_s", models::t_host_staging_seconds(n, 1, {}));
-    session_->submit([this, n, amps](cluster::Comm& comm) {
-      auto dsv = std::make_unique<sim::DistStateVector>(comm, n);
-      const index_t chunk = dim(dsv->local_qubits());
-      const auto base =
-          static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
-      std::copy(amps.begin() + base, amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
-                dsv->local().begin());
-      slots_[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
-    });
-    session_->sync();
+    // The scatter retries without a checkpoint: the host state it reads
+    // from is untouched by a failed attempt, so each retry just rebuilds
+    // the slots from scratch.
+    for (int attempt = 0;; ++attempt) {
+      release_slots();
+      slots_.resize(static_cast<std::size_t>(eff));
+      slot_bytes_seen_.assign(static_cast<std::size_t>(eff), 0);
+      try {
+        session_->submit([this, n, amps](cluster::Comm& comm) {
+          cluster::fault_point("dist.scatter", comm.rank());
+          auto dsv = std::make_unique<sim::DistStateVector>(comm, n);
+          const index_t chunk = dim(dsv->local_qubits());
+          const auto base =
+              static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
+          std::copy(amps.begin() + base,
+                    amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                    dsv->local().begin());
+          slots_[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
+        });
+        session_->sync();
+        break;
+      } catch (...) {
+        if (!cluster::retryable_fault(std::current_exception()) || attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+      }
+    }
     scatter_span.end();
     host_ = &sv;
     resident_ = true;
@@ -275,6 +355,14 @@ class DistBackend final : public Backend {
     perm_.resize(n);
     std::iota(perm_.begin(), perm_.end(), qubit_t{0});
     host_bytes_ += models::staging_bytes(n);
+    // Fresh residency: any previous checkpoint/replay state described a
+    // different (or stale) resident state.
+    ckpt_valid_ = false;
+    ckpt_chunks_.clear();
+    ckpt_perm_.clear();
+    replay_log_.clear();
+    replay_pred_s_ = 0;
+    segments_since_ckpt_ = 0;
   }
 
   /// The at-most-one gather: restores physical qubit order (the only
@@ -283,20 +371,36 @@ class DistBackend final : public Backend {
   /// resident slots. The session stays open for reuse.
   void flush_to_host() {
     if (!resident_) return;
-    const auto rounds = sched::restore_rounds(perm_);
     const auto amps = host_->amplitudes();
     obs::Span gather_span("dist.gather");
     gather_span.arg("host_bytes", static_cast<double>(models::staging_bytes(resident_n_)));
     gather_span.arg("pred_s", models::t_host_staging_seconds(resident_n_, 1, {}));
-    session_->submit([this, rounds, amps](cluster::Comm& comm) {
-      sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
-      for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
-      const index_t chunk = dim(dsv.local_qubits());
-      const auto base =
-          static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
-      std::copy(dsv.local().begin(), dsv.local().end(), amps.begin() + base);
-    });
-    session_->sync();
+    for (int attempt = 0;; ++attempt) {
+      // Recompute the restore rounds per attempt: a restore_and_replay
+      // below resets perm_ to the checkpoint's permutation.
+      const auto rounds = sched::restore_rounds(perm_);
+      try {
+        session_->submit([this, rounds, amps](cluster::Comm& comm) {
+          cluster::fault_point("dist.gather", comm.rank());
+          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
+          const index_t chunk = dim(dsv.local_qubits());
+          const auto base =
+              static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
+          std::copy(dsv.local().begin(), dsv.local().end(), amps.begin() + base);
+        });
+        session_->sync();
+        break;
+      } catch (...) {
+        // The restore rounds mutate the chunks mid-gather, so a failed
+        // attempt needs the checkpoint back before retrying.
+        if (!checkpoints_enabled() || !cluster::retryable_fault(std::current_exception()) ||
+            attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+        restore_and_replay();
+      }
+    }
     gather_span.end();
     release_slots();
     host_bytes_ += models::staging_bytes(resident_n_);
@@ -313,6 +417,158 @@ class DistBackend final : public Backend {
     release_slots();
     resident_ = false;
     host_ = nullptr;
+  }
+
+  // --- failure domain: checkpoint / restore / retry ---------------------
+
+  /// Whether segment checkpointing is armed. interval -1 disables it
+  /// outright; 0 ("auto") arms it only while a fault source exists — an
+  /// installed FaultInjector or a deadline budget — so the default
+  /// fault-free configuration pays zero checkpoint overhead.
+  [[nodiscard]] bool checkpoints_enabled() const {
+    if (ckpt_interval_ < 0) return false;
+    if (ckpt_interval_ > 0) return true;
+    return timeout_s_ > 0 || session_timeout() > 0 ||
+           cluster::current_injector() != nullptr;
+  }
+
+  [[nodiscard]] double session_timeout() const {
+    return session_ != nullptr ? session_->timeout() : 0.0;
+  }
+
+  /// Counts a retry and sleeps an exponential backoff (capped well under
+  /// a second — the cluster is in-process, the backoff only prevents a
+  /// hot retry loop against a still-unhealthy session).
+  void note_retry(int attempt) {
+    obs::counter_add("fault.retries", 1);
+    const double backoff_s = 0.0005 * std::ldexp(1.0, std::min(attempt, 8));
+    obs::counter_add("fault.backoff_ms", backoff_s * 1e3);
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+  }
+
+  /// Checkpoint policy gate. Unforced: every ckpt_interval_ segments, or
+  /// (auto) when the predicted replay cost of the uncheckpointed segment
+  /// log exceeds a few checkpoint costs (models::checkpoint_due).
+  /// Forced (pre-collapse): whenever the current state is not already
+  /// captured by checkpoint + replay log... i.e. always capturable, so a
+  /// force only spends a checkpoint when it shortens the restore path.
+  void maybe_checkpoint(bool force = false) {
+    if (!resident_ || !checkpoints_enabled()) return;
+    bool due = false;
+    if (force) {
+      due = !ckpt_valid_ || !replay_log_.empty();
+    } else if (ckpt_interval_ > 0) {
+      due = segments_since_ckpt_ >= static_cast<std::size_t>(ckpt_interval_);
+    } else {
+      due = models::checkpoint_due(replay_pred_s_, resident_n_, {});
+    }
+    if (due) take_checkpoint();
+  }
+
+  /// Copies every rank's resident chunk (and the carried permutation)
+  /// into host-side checkpoint storage. The copy job is communication-
+  /// free but still runs on the rank threads, so injected cluster.job
+  /// faults exercise checkpoint failure too. The old checkpoint's
+  /// buffers are reused as storage, so it is marked invalid for the
+  /// duration of the copy.
+  void take_checkpoint() {
+    obs::Span span("dist.checkpoint");
+    span.arg("bytes", static_cast<double>(models::staging_bytes(resident_n_)));
+    ckpt_valid_ = false;
+    ckpt_chunks_.resize(slots_.size());
+    for (int attempt = 0;; ++attempt) {
+      try {
+        session_->submit([this](cluster::Comm& comm) {
+          const auto r = static_cast<std::size_t>(comm.rank());
+          const auto& local = slots_[r]->local();
+          ckpt_chunks_[r].assign(local.begin(), local.end());
+        });
+        session_->sync();
+        snapshot_net();
+        break;
+      } catch (...) {
+        if (!cluster::retryable_fault(std::current_exception()) || attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+      }
+    }
+    ckpt_perm_ = perm_;
+    ckpt_valid_ = true;
+    replay_log_.clear();
+    replay_pred_s_ = 0;
+    segments_since_ckpt_ = 0;
+    obs::counter_add("checkpoint.count", 1);
+    obs::counter_add("checkpoint.bytes",
+                     static_cast<double>(models::staging_bytes(resident_n_)));
+  }
+
+  /// Restores the last checkpoint (or the original scattered host state
+  /// when no checkpoint was taken yet) and replays the logged segments,
+  /// leaving chunks and perm_ exactly as before the failed op. The
+  /// restore itself can hit injected faults; it retries under the same
+  /// budget and rethrows typed errors to the caller when exhausted.
+  void restore_and_replay() {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        restore_once();
+        return;
+      } catch (...) {
+        if (!cluster::retryable_fault(std::current_exception()) || attempt >= max_retries_)
+          throw;
+        note_retry(attempt);
+      }
+    }
+  }
+
+  void restore_once() {
+    obs::Span span("dist.restore");
+    span.arg("segments", static_cast<double>(replay_log_.size()));
+    obs::counter_add("checkpoint.restores", 1);
+    const bool from_ckpt = ckpt_valid_;
+    const qubit_t n = resident_n_;
+    const auto amps = host_->amplitudes();
+    session_->submit([this, from_ckpt, n, amps](cluster::Comm& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      // An aborted alloc-fail can leave a slot null; recreate it (the
+      // constructor re-passes the dist.alloc fault site).
+      if (slots_[r] == nullptr)
+        slots_[r] = std::make_unique<sim::DistStateVector>(comm, n);
+      sim::DistStateVector& dsv = *slots_[r];
+      if (from_ckpt) {
+        std::copy(ckpt_chunks_[r].begin(), ckpt_chunks_[r].end(), dsv.local().begin());
+      } else {
+        // No checkpoint yet: the bound host state still holds the
+        // amplitudes the residency was scattered from (it only goes
+        // stale at flush_to_host, which happens after the run's ops).
+        const index_t chunk = dim(dsv.local_qubits());
+        const auto base =
+            static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
+        std::copy(amps.begin() + base,
+                  amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                  dsv.local().begin());
+      }
+    });
+    session_->sync();
+    // A recreated slot's communication counter restarted from zero;
+    // resync the snapshot baseline so the next delta cannot underflow.
+    for (std::size_t r = 0; r < slots_.size(); ++r)
+      slot_bytes_seen_[r] = slots_[r] != nullptr ? slots_[r]->bytes_communicated() : 0;
+    if (from_ckpt) {
+      perm_ = ckpt_perm_;
+    } else {
+      perm_.assign(static_cast<std::size_t>(n), 0);
+      std::iota(perm_.begin(), perm_.end(), qubit_t{0});
+    }
+    // Replay the logged segments on top of the restored state.
+    for (std::size_t s = 0; s < replay_log_.size(); ++s) {
+      session_->submit([this, s](cluster::Comm& comm) {
+        sched::run_dist_plan(*slots_[static_cast<std::size_t>(comm.rank())],
+                             replay_log_[s].plan, policy_);
+      });
+      session_->sync();
+      perm_ = replay_log_[s].perm_after;
+    }
+    snapshot_net();
   }
 
   /// Folds the *delta* of every rank's communication counter since the
@@ -353,6 +609,23 @@ class DistBackend final : public Backend {
   std::vector<qubit_t> perm_;  ///< Logical->physical, carried across segments.
   std::uint64_t host_bytes_ = 0;
   std::uint64_t net_bytes_ = 0;
+
+  // Failure domain (see README "Failure model").
+  double timeout_s_ = 0;   ///< RunOptions::dist_timeout_s.
+  int ckpt_interval_ = 0;  ///< RunOptions::dist_checkpoint_interval.
+  int max_retries_ = 2;    ///< RunOptions::dist_max_retries.
+  /// One executed gate segment since the last checkpoint: enough to
+  /// replay it (the plan) and to land on the right permutation after.
+  struct SegmentLog {
+    sched::DistPlan plan;
+    std::vector<qubit_t> perm_after;
+  };
+  std::vector<SegmentLog> replay_log_;
+  double replay_pred_s_ = 0;  ///< Predicted replay cost of replay_log_ (model s).
+  std::size_t segments_since_ckpt_ = 0;
+  std::vector<std::vector<complex_t>> ckpt_chunks_;  ///< Per-rank chunk copies.
+  std::vector<qubit_t> ckpt_perm_;                   ///< perm_ at checkpoint time.
+  bool ckpt_valid_ = false;
 };
 
 struct BackendEntry {

@@ -82,6 +82,40 @@ struct RunOptions {
   /// exporters (obs/report.hpp). Off (default): instrumentation costs
   /// one relaxed atomic load per site.
   bool trace = false;
+
+  // --- failure domain (see README "Failure model") ----------------------
+
+  /// Deadline budget (seconds) for the dist backend's cluster session:
+  /// a blocking recv/barrier that waits longer aborts the cluster and
+  /// raises cluster::TimeoutError; sync() runs a watchdog at a grace
+  /// multiple of the same budget. <= 0: deadlines off (unless
+  /// QC_CLUSTER_TIMEOUT_S arms them process-wide).
+  double dist_timeout_s = 0;
+  /// Segment-granular checkpoint policy for the dist backend:
+  ///   -1   off — a retryable fault cannot replay (the run degrades or
+  ///        fails instead);
+  ///    0   auto (default) — checkpoint when the predicted replay cost
+  ///        of the uncheckpointed segment log exceeds a few checkpoints
+  ///        (models::checkpoint_due), armed only while a fault source
+  ///        exists (an installed FaultInjector or a timeout budget), so
+  ///        fault-free runs pay nothing;
+  ///    N>0 checkpoint every N gate segments, unconditionally.
+  int dist_checkpoint_interval = 0;
+  /// Retry budget per op for retryable cluster faults (timeout,
+  /// injected fault, allocation failure): each retry restores the last
+  /// checkpoint, replays the segment log and re-runs the op. 0: faults
+  /// propagate immediately.
+  int dist_max_retries = 2;
+  /// Deterministic fault-injection schedule installed for the whole run
+  /// (cluster::FaultInjector::parse grammar, e.g.
+  /// "abort@cluster.barrier#2;drop@cluster.send#1/0"). Empty: the
+  /// QC_FAULTS environment variable, if set.
+  std::string fault_spec;
+  /// Degradation ladder: on an unrecoverable cluster error mid-run,
+  /// restart the program on the single-node "cached" backend (recorded
+  /// in Result.degraded and the trace) instead of failing. Off: the
+  /// typed error propagates to the caller.
+  bool degrade = true;
 };
 
 /// Monotone byte counters a backend exposes for the per-op engine

@@ -2,26 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "cluster/fault.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
 
 namespace qc::engine {
 
-Result Engine::run(const Program& p, const RunOptions& opts) const {
-  const std::unique_ptr<Backend> backend = make_backend(opts.backend, opts);
-  if (opts.initial_basis >= dim(p.qubits()))
-    throw std::invalid_argument("Engine::run: initial_basis outside the register");
+namespace {
 
-  // Tracing is per-run: the tracer is installed process-wide for the
-  // run's duration so every layer down to the rank threads records into
-  // it, and collected into Result.trace_data before the backend (and
-  // with it any cluster session) is torn down.
-  std::unique_ptr<obs::Tracer> tracer;
-  if (opts.trace) tracer = std::make_unique<obs::Tracer>();
-  const obs::ScopedTracer scoped(tracer.get());
+/// One end-to-end attempt of the program on one backend. Throws
+/// whatever the backend throws; the degradation ladder in Engine::run
+/// decides whether a cluster error gets a second attempt elsewhere.
+Result run_attempt(const Program& p, const RunOptions& opts,
+                   const std::string& backend_name) {
+  const std::unique_ptr<Backend> backend = make_backend(backend_name, opts);
   obs::Span run_span("engine.run");
 
   Program lowered;
@@ -39,7 +37,7 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   Rng rng(opts.seed);
 
   Result res;
-  res.backend = opts.backend;
+  res.backend = backend_name;
   res.run_qubits = prog->qubits();
   res.trace.reserve(prog->size());
   WallTimer total;
@@ -106,10 +104,6 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
     res.net_bytes = after.net_bytes;
   }
   res.total_seconds = total.seconds();
-  if (tracer != nullptr) {
-    run_span.end();
-    res.trace_data = std::make_shared<const obs::TraceData>(tracer->collect());
-  }
 
   if (prog->qubits() == p.qubits()) {
     res.state = std::move(sv);
@@ -126,6 +120,66 @@ Result Engine::run(const Program& p, const RunOptions& opts) const {
   std::copy(sv.amplitudes().begin(), sv.amplitudes().begin() + static_cast<std::ptrdiff_t>(keep),
             res.state.amplitudes().begin());
   return res;
+}
+
+}  // namespace
+
+Result Engine::run(const Program& p, const RunOptions& opts) const {
+  if (opts.initial_basis >= dim(p.qubits()))
+    throw std::invalid_argument("Engine::run: initial_basis outside the register");
+
+  // Deterministic fault injection is per-run: an explicit schedule in
+  // the options wins, else the QC_FAULTS environment variable, else no
+  // injector (fault_point sites cost one relaxed atomic load each).
+  std::unique_ptr<cluster::FaultInjector> injector;
+  std::string spec = opts.fault_spec;
+  if (spec.empty())
+    if (const char* env = std::getenv("QC_FAULTS"); env != nullptr) spec = env;
+  if (!spec.empty())
+    injector = std::make_unique<cluster::FaultInjector>(cluster::FaultInjector::parse(spec));
+  const cluster::ScopedFaultInjector scoped_faults(injector.get());
+
+  // Tracing is per-run: the tracer is installed process-wide for the
+  // run's duration so every layer down to the rank threads records into
+  // it, and collected into Result.trace_data before the backend (and
+  // with it any cluster session) is torn down. It outlives a degraded
+  // first attempt, so one TraceData shows the failed attempt, the
+  // degrade marker and the rerun.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (opts.trace) tracer = std::make_unique<obs::Tracer>();
+  const obs::ScopedTracer scoped_tracer(tracer.get());
+
+  WallTimer total;
+  std::string backend_name = opts.backend;
+  std::string degraded_from;
+  std::string degrade_reason;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Result res = run_attempt(p, opts, backend_name);
+      if (!degraded_from.empty()) {
+        res.degraded = true;
+        res.degraded_from = degraded_from;
+        res.degrade_reason = degrade_reason;
+        res.trace.insert(res.trace.begin(), OpTrace{"[degrade]", 0, 0, 0});
+        res.total_seconds = total.seconds();  // include the failed attempt
+      }
+      if (tracer != nullptr)
+        res.trace_data = std::make_shared<const obs::TraceData>(tracer->collect());
+      return res;
+    } catch (const cluster::ClusterError& e) {
+      // Only the typed cluster taxonomy degrades: a QC_CHECK failure or
+      // any other logic error means wrong *results*, not a lost session,
+      // and must keep propagating. One rung on the ladder: dist-like ->
+      // "cached"; a cluster error out of "cached" is impossible by
+      // construction but would propagate too.
+      if (!opts.degrade || attempt > 0 || backend_name == "cached") throw;
+      obs::counter_add("engine.degrade", 1);
+      obs::instant("engine.degrade");
+      degraded_from = backend_name;
+      degrade_reason = e.what();
+      backend_name = "cached";
+    }
+  }
 }
 
 }  // namespace qc::engine

@@ -59,7 +59,16 @@ struct Result {
   /// jobs -> dist plan items -> sweeps/exchanges — plus counters. Feed
   /// to obs::chrome_trace_json / metrics_json / model_report.
   std::shared_ptr<const obs::TraceData> trace_data;
-  std::string backend;      ///< Backend name the run used.
+  /// Backend name the run actually *completed* on. Normally
+  /// RunOptions.backend; differs when the degradation ladder fired.
+  std::string backend;
+  /// True when an unrecoverable cluster error mid-run made the engine
+  /// restart the program on the single-node "cached" backend
+  /// (RunOptions.degrade). The result is then bit-identical to a plain
+  /// cached run of the same seed — measurement draws are engine-side.
+  bool degraded = false;
+  std::string degraded_from;   ///< Backend the degraded run abandoned.
+  std::string degrade_reason;  ///< what() of the error that forced it.
   qubit_t run_qubits = 0;   ///< Qubits actually simulated (incl. ancillas).
   double total_seconds = 0; ///< End-to-end wall-clock time.
   /// Whole-run totals of the backend byte counters (equal to the sums

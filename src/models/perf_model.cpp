@@ -125,4 +125,13 @@ double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachinePar
 
 bool resident_session_profitable(std::size_t engine_ops) { return engine_ops > 1; }
 
+double t_checkpoint_seconds(qubit_t n, const MachineParams& m) {
+  return t_host_staging_seconds(n, 1, m);
+}
+
+bool checkpoint_due(double replay_seconds, qubit_t n, const MachineParams& m,
+                    double overhead_factor) {
+  return replay_seconds > overhead_factor * t_checkpoint_seconds(n, m);
+}
+
 }  // namespace qc::models

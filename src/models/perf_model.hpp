@@ -167,4 +167,26 @@ double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachinePar
 /// profitable as soon as the run has more than one op.
 bool resident_session_profitable(std::size_t engine_ops);
 
+// --- checkpoint policy (failure domain, engine/backend) ----------------
+//
+// A segment-boundary checkpoint copies every rank's chunk into host
+// buffers — one staging's worth of memory traffic — and caps what a
+// retryable fault costs at "replay the segments since the checkpoint".
+// The auto policy trades those two quantities: checkpoint when the
+// predicted replay cost of the uncheckpointed segment log has grown
+// past a small multiple of the checkpoint's own cost. With cheap
+// segments the log runs long (faults are cheap to replay anyway); with
+// expensive segments checkpoints come often (each fault would replay a
+// lot).
+
+/// Seconds one checkpoint costs: a host staging of the full 2^n state
+/// (every rank's chunk copied once through host memory).
+double t_checkpoint_seconds(qubit_t n, const MachineParams& m);
+
+/// Auto checkpoint decision: true when `replay_seconds` — the predicted
+/// cost of re-running everything since the last checkpoint — exceeds
+/// `overhead_factor` checkpoints of a 2^n state.
+bool checkpoint_due(double replay_seconds, qubit_t n, const MachineParams& m,
+                    double overhead_factor = 4.0);
+
 }  // namespace qc::models

@@ -348,4 +348,28 @@ void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
   }
 }
 
+double predicted_seconds(const DistPlan& plan, const models::MachineParams& m) {
+  const qubit_t nl = plan.local_qubits;
+  double total = 0;
+  for (const DistPlanItem& item : plan.items) {
+    switch (item.kind) {
+      case DistPlanItem::Kind::Local:
+        total += models::t_blocked_execution_seconds(nl, item.local.passes(), m);
+        break;
+      case DistPlanItem::Kind::Exchange:
+        total += models::t_chunk_exchange_seconds(nl, m);
+        break;
+      case DistPlanItem::Kind::Gate:
+        // Physical labels: a rank-bit target pays one pairwise exchange
+        // unless diagonal (comm-free under the Specialized policy).
+        if (item.gate.targets[0] >= nl && !item.gate.diagonal())
+          total += models::t_chunk_exchange_seconds(nl, m);
+        else
+          total += models::t_state_pass_seconds(nl, m);
+        break;
+    }
+  }
+  return total;
+}
+
 }  // namespace qc::sched

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "models/perf_model.hpp"
 #include "sched/schedule.hpp"
 #include "sim/dist_sv.hpp"
 
@@ -119,5 +120,14 @@ struct DistPlan {
 /// Gate items fall back to per-gate policy handling.
 void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
                    sim::CommPolicy policy = sim::CommPolicy::Specialized);
+
+/// Predicted execution cost of a plan in model seconds: Local items
+/// charge their blocked memory passes over the chunk, Exchange items
+/// one chunk permutation, Gate items one pairwise exchange when the
+/// (physical) target is a rank bit and the gate is not diagonal —
+/// i.e. the same units the plan was scheduled in. The checkpoint
+/// policy (models::checkpoint_due) accumulates this over the segments
+/// since the last checkpoint to price a replay.
+[[nodiscard]] double predicted_seconds(const DistPlan& plan, const models::MachineParams& m);
 
 }  // namespace qc::sched

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "cluster/fault.hpp"
 #include "models/perf_model.hpp"
 #include "obs/trace.hpp"
 #include "sim/sampling.hpp"
@@ -23,6 +24,7 @@ DistStateVector::DistStateVector(cluster::Comm& comm, qubit_t n_qubits)
   const qubit_t k = bits::log2_floor(static_cast<index_t>(p));
   if (k > n_) throw std::invalid_argument("DistStateVector: more ranks than amplitudes");
   nl_ = n_ - k;
+  cluster::fault_point("dist.alloc", comm.rank());
   local_.assign(dim(nl_), complex_t{});
   scratch_.assign(dim(nl_), complex_t{});
   if (comm.rank() == 0) local_[0] = 1.0;
@@ -84,6 +86,7 @@ void DistStateVector::exchange_and_combine(qubit_t rank_bit, const kernels::U2& 
     span.arg("bytes", static_cast<double>(local_.size() * sizeof(complex_t)));
     span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
   }
+  cluster::fault_point("dist.exchange", comm_->rank());
   const int partner = comm_->rank() ^ static_cast<int>(bits::bit(rank_bit));
   const int my_bit = (comm_->rank() >> rank_bit) & 1;
   comm_->sendrecv<complex_t>(partner, {local_.data(), local_.size()},
@@ -197,6 +200,7 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
   // chunk exchange when ranks communicate, a local memory pass when the
   // permutation stays within the chunk.
   obs::Span span("dist.exchange_pass");
+  cluster::fault_point("dist.exchange_pass", comm_->rank());
   const std::uint64_t bytes_before = bytes_comm_;
   // Split the disjoint transposition set into the class each level can
   // handle: local-local pairs permute the chunk in place, everything
@@ -351,6 +355,15 @@ index_t DistStateVector::sample(Rng& rng) const {
   // (which never returns a zero-probability outcome). Every rank draws
   // the same u from its identically-seeded rng, so every rank computes
   // the same owner and learns the same outcome via broadcast.
+  // The shared draw is consumed *before* any communication: if the
+  // collective below aborts (peer failure, timeout, injected fault),
+  // every rank has still advanced its identically-seeded stream by
+  // exactly one draw, so the streams stay synchronized for whatever
+  // runs next — a retry of this sample or a different collective.
+  // Drawing after the allgather would let an abort leave some ranks
+  // one draw ahead of others, silently desynchronizing every
+  // subsequent shared decision.
+  const double unit_draw = rng.uniform();
   const SampleCdf local_cdf = SampleCdf::from_amplitudes(local());
   const double my_total = local_cdf.total();
   const int p = comm_->size();
@@ -359,7 +372,7 @@ index_t DistStateVector::sample(Rng& rng) const {
   double grand = 0;
   for (const double t : totals) grand += t;
   if (grand <= 0) throw std::runtime_error("sample: distribution has no support");
-  const double u = rng.uniform() * grand;
+  const double u = unit_draw * grand;
 
   int owner = -1;
   double before = 0;

@@ -4,9 +4,13 @@
 // collective reductions.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "circuit/builders.hpp"
+#include "cluster/fault.hpp"
 #include "sim/dist_sv.hpp"
 #include "sim/simulator.hpp"
 
@@ -323,6 +327,54 @@ TEST(DistMeasurement, SampleMatchesSerialDrawForSameSeed) {
       }
     });
   }
+}
+
+TEST(DistMeasurement, AbortedSampleLeavesRankRngStreamsInSync) {
+  // Pins the stream-sync invariant documented in sample(): the shared
+  // uniform draw is consumed *before* any communication, so every rank
+  // that entered sample() has advanced its identically-seeded stream by
+  // exactly one draw when the collective aborts — never zero (the
+  // pre-fix failure mode: rank 0 dies in the allgather before a
+  // draw-after-communication, silently falling behind its peers) and
+  // never more than one. The rule kills rank 0 in its first recv of the
+  // rank-total allgather, after its own draw and eager send.
+  constexpr qubit_t n = 6;
+  constexpr int kRanks = 2;
+  cluster::FaultInjector inj = cluster::FaultInjector::parse("abort@cluster.recv#0/0");
+  const cluster::ScopedFaultInjector scoped(&inj);
+  cluster::ClusterSession session(kRanks, 1);
+  std::vector<Rng> rngs;
+  for (int r = 0; r < kRanks; ++r) rngs.emplace_back(99);
+  // Whether each rank reached the sample() call. Rank 1 may legitimately
+  // miss it — rank 0's abort can land before rank 1 dequeues the job —
+  // but a rank that did enter must have consumed exactly one draw: the
+  // draw is sample()'s first statement, ahead of any abortable call.
+  std::array<std::atomic<bool>, kRanks> entered{};
+  session.submit([&rngs, &entered](cluster::Comm& comm) {
+    DistStateVector dsv(comm, n);
+    dsv.set_basis(3);
+    const auto r = static_cast<std::size_t>(comm.rank());
+    entered[r] = true;
+    (void)dsv.sample(rngs[r]);
+  });
+  EXPECT_THROW(session.sync(), cluster::InjectedFault);
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_TRUE(entered[0]);  // the aborting rank itself always got there
+  std::vector<double> next(kRanks, -1.0);
+  session.submit([&rngs, &next](cluster::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    next[r] = rngs[r].uniform();
+  });
+  session.sync();
+  Rng fresh(99);
+  const double draw1 = fresh.uniform();
+  const double draw2 = fresh.uniform();
+  // Rank 0 aborted mid-collective yet advanced exactly one draw — the
+  // regression pin: drawing after the allgather would leave it at 0.
+  EXPECT_EQ(next[0], draw2);
+  // Rank 1: in sync with rank 0 when it entered, untouched when the
+  // abort beat it to the job — either way its position is exact.
+  EXPECT_EQ(next[1], entered[1] ? draw2 : draw1);
 }
 
 TEST(DistMeasurement, CollapseMatchesSerialOnLocalAndGlobalQubit) {

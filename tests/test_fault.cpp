@@ -1,0 +1,368 @@
+// Failure-domain tests: the deterministic fault injector (spec grammar,
+// one-shot semantics, seeded schedules), deadline-aware collectives
+// (recv/barrier timeouts, the sync watchdog), checkpoint/restart inside
+// the dist backend (retry-from-checkpoint bit-identity against "hpc"),
+// and the engine's dist->cached degradation ladder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/fault.hpp"
+#include "engine/engine.hpp"
+#include "models/perf_model.hpp"
+
+namespace qc {
+namespace {
+
+using cluster::ClusterAborted;
+using cluster::ClusterSession;
+using cluster::Comm;
+using cluster::FaultAction;
+using cluster::FaultInjector;
+using cluster::InjectedFault;
+using cluster::ScopedFaultInjector;
+using cluster::TimeoutError;
+
+// --- spec grammar ------------------------------------------------------
+
+TEST(FaultSpec, ParsesEveryField) {
+  const FaultInjector inj =
+      FaultInjector::parse("abort@cluster.barrier#2;drop@cluster.send#1/0;"
+                           "delay@cluster.job#0/1:250;allocfail@dist.alloc");
+  ASSERT_EQ(inj.rules().size(), 4u);
+  EXPECT_EQ(inj.rules()[0].action, FaultAction::Abort);
+  EXPECT_EQ(inj.rules()[0].site, "cluster.barrier");
+  EXPECT_EQ(inj.rules()[0].hit, 2u);
+  EXPECT_EQ(inj.rules()[0].rank, -1);
+  EXPECT_EQ(inj.rules()[1].action, FaultAction::Drop);
+  EXPECT_EQ(inj.rules()[1].rank, 0);
+  EXPECT_EQ(inj.rules()[2].action, FaultAction::Delay);
+  EXPECT_NEAR(inj.rules()[2].delay_s, 0.25, 1e-12);
+  EXPECT_EQ(inj.rules()[3].action, FaultAction::AllocFail);
+  EXPECT_EQ(inj.rules()[3].hit, 0u);
+}
+
+TEST(FaultSpec, RoundTripsThroughToString) {
+  const std::string spec =
+      "abort@cluster.barrier#2;drop@cluster.send#1/0;delay@cluster.job#0/1:250";
+  EXPECT_EQ(FaultInjector::parse(FaultInjector::parse(spec).to_string()).to_string(),
+            FaultInjector::parse(spec).to_string());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultInjector::parse(""), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("abort"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("explode@cluster.job"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("abort@"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("abort@cluster.job#x"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("seeded:count"), std::invalid_argument);
+}
+
+TEST(FaultSpec, SeededSchedulesAreDeterministic) {
+  EXPECT_EQ(FaultInjector::seeded(7, 5).to_string(), FaultInjector::seeded(7, 5).to_string());
+  EXPECT_NE(FaultInjector::seeded(7, 5).to_string(), FaultInjector::seeded(8, 5).to_string());
+  // The seeded: spec form resolves to the same schedule.
+  EXPECT_EQ(FaultInjector::parse("seeded:seed=7,count=5").to_string(),
+            FaultInjector::seeded(7, 5, 4, 0.2).to_string());
+}
+
+// --- visit semantics ---------------------------------------------------
+
+TEST(FaultInjectorVisit, FiresAtTheHitThVisitOfTheMatchingRank) {
+  FaultInjector inj = FaultInjector::parse("abort@cluster.job#2/1");
+  double d = 0;
+  EXPECT_FALSE(inj.visit("cluster.job", 0, &d).has_value());  // rank 0, visit 0
+  EXPECT_FALSE(inj.visit("cluster.job", 1, &d).has_value());  // rank 1, visit 0
+  EXPECT_FALSE(inj.visit("cluster.job", 1, &d).has_value());  // rank 1, visit 1
+  EXPECT_FALSE(inj.visit("cluster.barrier", 1, &d).has_value());
+  const auto fired = inj.visit("cluster.job", 1, &d);  // rank 1, visit 2
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, FaultAction::Abort);
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST(FaultInjectorVisit, DisruptiveRulesAreOneShot) {
+  // rank -1 matches any rank, but the rule is spent by the first rank
+  // that reaches the hit — the second rank's own hit-th visit passes.
+  FaultInjector inj = FaultInjector::parse("abort@cluster.job#0");
+  double d = 0;
+  EXPECT_TRUE(inj.visit("cluster.job", 0, &d).has_value());
+  EXPECT_FALSE(inj.visit("cluster.job", 1, &d).has_value());
+  inj.reset();
+  EXPECT_TRUE(inj.visit("cluster.job", 1, &d).has_value());
+}
+
+TEST(FaultInjectorVisit, DelayRulesFireOncePerRank) {
+  FaultInjector inj = FaultInjector::parse("delay@cluster.job#0:50");
+  double d = 0;
+  EXPECT_TRUE(inj.visit("cluster.job", 0, &d).has_value());
+  EXPECT_NEAR(d, 0.05, 1e-12);
+  EXPECT_TRUE(inj.visit("cluster.job", 1, &d).has_value());
+  EXPECT_FALSE(inj.visit("cluster.job", 0, &d).has_value());  // visit 1: no rule
+  EXPECT_EQ(inj.fired(), 2u);
+}
+
+TEST(FaultPoint, NoOpWithoutAnInstalledInjector) {
+  ASSERT_EQ(cluster::current_injector(), nullptr);
+  EXPECT_FALSE(cluster::fault_point("cluster.job", 0));
+}
+
+TEST(FaultPoint, ScopedInstallRestoresPrevious) {
+  FaultInjector outer = FaultInjector::parse("abort@a#0");
+  FaultInjector inner = FaultInjector::parse("abort@b#0");
+  {
+    const ScopedFaultInjector s1(&outer);
+    EXPECT_EQ(cluster::current_injector(), &outer);
+    {
+      const ScopedFaultInjector s2(&inner);
+      EXPECT_EQ(cluster::current_injector(), &inner);
+    }
+    EXPECT_EQ(cluster::current_injector(), &outer);
+  }
+  EXPECT_EQ(cluster::current_injector(), nullptr);
+}
+
+TEST(FaultTaxonomy, RetryabilityFlags) {
+  EXPECT_TRUE(InjectedFault("x").retryable());
+  EXPECT_TRUE(TimeoutError("x").retryable());
+  EXPECT_TRUE(cluster::AllocFailure("x").retryable());
+  EXPECT_FALSE(ClusterAborted().retryable());
+  EXPECT_TRUE(cluster::retryable_fault(std::make_exception_ptr(TimeoutError("x"))));
+  EXPECT_FALSE(cluster::retryable_fault(std::make_exception_ptr(std::runtime_error("x"))));
+  EXPECT_FALSE(cluster::retryable_fault(nullptr));
+}
+
+TEST(FaultSites, KnownSiteListIsStable) {
+  const auto& sites = cluster::known_fault_sites();
+  EXPECT_GE(sites.size(), 10u);
+  for (const char* s : {"cluster.send", "cluster.barrier", "cluster.job", "dist.alloc",
+                        "dist.exchange", "dist.scatter", "dist.gather"})
+    EXPECT_NE(std::find(sites.begin(), sites.end(), s), sites.end()) << s;
+}
+
+// --- injected faults against a live session ----------------------------
+
+TEST(FaultSession, InjectedBarrierAbortSurfacesAndSessionRecovers) {
+  FaultInjector inj = FaultInjector::parse("abort@cluster.barrier#0");
+  const ScopedFaultInjector scoped(&inj);
+  ClusterSession session(4, 1);
+  session.submit([](Comm& comm) { comm.barrier(); });
+  EXPECT_THROW(session.sync(), InjectedFault);
+  EXPECT_EQ(inj.fired(), 1u);
+  // Recovered: the next job runs a full collective cleanly.
+  std::atomic<int> sum{0};
+  session.submit([&sum](Comm& comm) { sum += comm.allreduce_sum(comm.rank()); });
+  session.sync();
+  EXPECT_EQ(sum.load(), 4 * 6);  // each rank adds 0+1+2+3
+}
+
+TEST(FaultSession, RecvDeadlineRaisesTimeoutErrorAndSessionRecovers) {
+  ClusterSession session(2, 1);
+  session.set_timeout(0.05);
+  EXPECT_NEAR(session.timeout(), 0.05, 1e-12);
+  session.submit([](Comm& comm) {
+    if (comm.rank() == 0) return;  // never sends
+    int v = 0;
+    comm.recv<int>(0, std::span<int>(&v, 1));
+  });
+  EXPECT_THROW(session.sync(), TimeoutError);
+  session.set_timeout(0);
+  std::atomic<int> sum{0};
+  session.submit([&sum](Comm& comm) { sum += comm.allreduce_sum(1); });
+  session.sync();
+  EXPECT_EQ(sum.load(), 4);
+}
+
+TEST(FaultSession, DroppedSendTimesOutTheReceiver) {
+  FaultInjector inj = FaultInjector::parse("drop@cluster.send#0/0");
+  const ScopedFaultInjector scoped(&inj);
+  ClusterSession session(2, 1);
+  session.set_timeout(0.05);
+  session.submit([](Comm& comm) {
+    int v = comm.rank();
+    if (comm.rank() == 0) {
+      comm.send<int>(1, std::span<const int>(&v, 1));  // dropped
+    } else {
+      comm.recv<int>(0, std::span<int>(&v, 1));  // waits forever -> timeout
+    }
+  });
+  EXPECT_THROW(session.sync(), TimeoutError);
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST(FaultSession, DelayedJobInsideDeadlineStillCompletes) {
+  FaultInjector inj = FaultInjector::parse("delay@cluster.job#0/1:50");
+  const ScopedFaultInjector scoped(&inj);
+  ClusterSession session(2, 1);
+  session.set_timeout(5.0);
+  std::atomic<int> ran{0};
+  session.submit([&ran](Comm& comm) {
+    comm.barrier();
+    ++ran;
+  });
+  session.sync();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+// --- engine-level recovery and degradation -----------------------------
+
+engine::Program failure_program(qubit_t n) {
+  engine::Program p(n);
+  for (qubit_t q = 0; q < n; ++q) {
+    p.h(q);
+    p.rz(q, 0.17 * static_cast<double>(q + 1));
+  }
+  p.cnot(0, static_cast<qubit_t>(n - 1));
+  p.qft();
+  p.measure({0, 2});
+  p.inverse_qft();
+  p.expectation_z(index_t{0b11});
+  p.measure({static_cast<qubit_t>(n - 2), 2});
+  return p;
+}
+
+/// Runs the failure program on "dist" with the given fault spec and
+/// expects bit-identical agreement with the fault-free "hpc" run.
+void expect_recovers_identically(const std::string& fault_spec, bool expect_degraded) {
+  const engine::Program p = failure_program(10);
+  engine::RunOptions ref_opts;
+  ref_opts.backend = "hpc";
+  ref_opts.seed = 11;
+  const engine::Engine eng;
+  const engine::Result ref = eng.run(p, ref_opts);
+
+  engine::RunOptions opts = ref_opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.dist_timeout_s = 2.0;
+  opts.fault_spec = fault_spec;
+  const engine::Result r = eng.run(p, opts);
+  EXPECT_EQ(r.degraded, expect_degraded) << fault_spec;
+  EXPECT_LT(r.state.max_abs_diff(ref.state), 1e-12) << fault_spec;
+  EXPECT_EQ(r.measurements, ref.measurements) << fault_spec;
+  ASSERT_EQ(r.expectations.size(), ref.expectations.size());
+  for (std::size_t i = 0; i < r.expectations.size(); ++i)
+    EXPECT_NEAR(r.expectations[i], ref.expectations[i], 1e-12) << fault_spec;
+}
+
+TEST(FaultRecovery, SegmentAbortRetriesFromCheckpointBitIdentically) {
+  expect_recovers_identically("abort@cluster.job#1", /*expect_degraded=*/false);
+}
+
+TEST(FaultRecovery, ExchangeAbortRetriesBitIdentically) {
+  expect_recovers_identically("abort@dist.exchange#0", /*expect_degraded=*/false);
+}
+
+TEST(FaultRecovery, AllocFailureRetriesScatter) {
+  expect_recovers_identically("allocfail@dist.alloc#0/1", /*expect_degraded=*/false);
+}
+
+TEST(FaultRecovery, GatherAbortReplaysAndFlushes) {
+  expect_recovers_identically("abort@dist.gather#0", /*expect_degraded=*/false);
+}
+
+TEST(FaultRecovery, CascadeExhaustsRetriesAndDegradesBitIdentically) {
+  expect_recovers_identically(
+      "abort@cluster.job#1;abort@cluster.job#2;abort@cluster.job#3;abort@cluster.job#4",
+      /*expect_degraded=*/true);
+}
+
+TEST(FaultRecovery, DegradedResultRecordsTheLadder) {
+  const engine::Program p = failure_program(8);
+  engine::RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.seed = 5;
+  opts.fault_spec =
+      "abort@cluster.job#1;abort@cluster.job#2;abort@cluster.job#3;abort@cluster.job#4";
+  const engine::Result r = engine::Engine{}.run(p, opts);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.backend, "cached");
+  EXPECT_EQ(r.degraded_from, "dist");
+  EXPECT_FALSE(r.degrade_reason.empty());
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.front().op, "[degrade]");
+}
+
+TEST(FaultRecovery, DegradeOffPropagatesTheTypedError) {
+  const engine::Program p = failure_program(8);
+  engine::RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.fault_spec =
+      "abort@cluster.job#1;abort@cluster.job#2;abort@cluster.job#3;abort@cluster.job#4";
+  opts.degrade = false;
+  EXPECT_THROW(engine::Engine{}.run(p, opts), cluster::ClusterError);
+}
+
+TEST(FaultRecovery, CheckCorruptionDoesNotDegrade) {
+  // Only the cluster taxonomy rides the ladder: a bad initial_basis
+  // (std::invalid_argument) propagates even with degrade on.
+  const engine::Program p = failure_program(8);
+  engine::RunOptions opts;
+  opts.backend = "dist";
+  opts.initial_basis = dim(10);  // outside the 8-qubit register
+  EXPECT_THROW(engine::Engine{}.run(p, opts), std::invalid_argument);
+}
+
+TEST(FaultRecovery, FaultCountersAppearInTheTrace) {
+  const engine::Program p = failure_program(8);
+  engine::RunOptions opts;
+  opts.backend = "dist";
+  opts.dist_ranks = 4;
+  opts.seed = 5;
+  opts.dist_checkpoint_interval = 1;
+  opts.fault_spec = "abort@dist.exchange#1";
+  opts.trace = true;
+  const engine::Result r = engine::Engine{}.run(p, opts);
+  ASSERT_NE(r.trace_data, nullptr);
+  const auto& c = r.trace_data->counters;
+  EXPECT_GE(c.at("fault.injected"), 1.0);
+  EXPECT_GE(c.at("fault.retries"), 1.0);
+  EXPECT_GE(c.at("checkpoint.count"), 1.0);
+  std::size_t ckpt_spans = 0, restore_spans = 0;
+  for (const auto& s : r.trace_data->spans) {
+    if (s.name == "dist.checkpoint") ++ckpt_spans;
+    if (s.name == "dist.restore") ++restore_spans;
+  }
+  EXPECT_EQ(static_cast<double>(ckpt_spans), c.at("checkpoint.count"));
+  EXPECT_EQ(static_cast<double>(restore_spans), c.at("checkpoint.restores"));
+}
+
+TEST(FaultRecovery, ForcedCheckpointIntervalMatchesFaultFreeRun) {
+  // Checkpointing must be behavior-neutral: interval 1 (checkpoint
+  // every segment) yields the same results as checkpoints off.
+  const engine::Program p = failure_program(10);
+  engine::RunOptions off;
+  off.backend = "dist";
+  off.dist_ranks = 4;
+  off.seed = 23;
+  off.dist_checkpoint_interval = -1;
+  engine::RunOptions on = off;
+  on.dist_checkpoint_interval = 1;
+  const engine::Engine eng;
+  const engine::Result a = eng.run(p, off);
+  const engine::Result b = eng.run(p, on);
+  EXPECT_LT(a.state.max_abs_diff(b.state), 1e-15);
+  EXPECT_EQ(a.measurements, b.measurements);
+}
+
+TEST(CheckpointPolicy, DuePricesReplayAgainstCheckpointCost) {
+  const models::MachineParams m;
+  EXPECT_GT(models::t_checkpoint_seconds(20, m), 0.0);
+  EXPECT_FALSE(models::checkpoint_due(0.0, 20, m));
+  // A replay far above the checkpoint cost is always due.
+  EXPECT_TRUE(models::checkpoint_due(1e9 * models::t_checkpoint_seconds(20, m), 20, m));
+  // The overhead factor gates the boundary.
+  const double t = models::t_checkpoint_seconds(20, m);
+  EXPECT_FALSE(models::checkpoint_due(3.9 * t, 20, m, 4.0));
+  EXPECT_TRUE(models::checkpoint_due(4.1 * t, 20, m, 4.0));
+}
+
+}  // namespace
+}  // namespace qc

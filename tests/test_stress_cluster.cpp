@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -179,6 +181,41 @@ TEST(StressTrace, RankSpansParentAcrossThreadsUnderAborts) {
   }
   EXPECT_GT(rank_spans, 0u);
   EXPECT_EQ(parented, rank_spans);
+}
+
+TEST(StressCluster, DestructorUnderInFlightTimedOutJob) {
+  // Tears a session down while a submitted job is still blocked past
+  // its deadline, without ever calling sync(). The dtor must stop and
+  // join the rank threads: the blocked receivers wake via the deadline
+  // (TimeoutError -> abort_all, peers unwind with ClusterAborted), the
+  // workers record the failures into the never-collected job slot, park,
+  // see stop_ and exit. TSan watches the teardown handoff; the loop
+  // varies the interleaving between the timeout firing and the join.
+  for (int i = 0; i < 10; ++i) {
+    ClusterSession session(4, 1);
+    session.set_timeout(0.02);
+    session.submit([](Comm& comm) {
+      if (comm.rank() == 0) return;  // never sends: peers block, then time out
+      int v = 0;
+      comm.recv<int>(0, std::span<int>(&v, 1));
+    });
+    if (i % 2 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Destructor runs here with the job in flight (or mid-unwind).
+  }
+}
+
+TEST(StressCluster, DestructorWithoutTimeoutAfterAbort) {
+  // Same teardown shape, but the in-flight job dies by abort rather
+  // than deadline: rank 0 throws immediately, the peers' blocked recvs
+  // wake with ClusterAborted, and the dtor joins without a sync().
+  for (int i = 0; i < 10; ++i) {
+    ClusterSession session(4, 1);
+    session.submit([](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("die before sending");
+      int v = 0;
+      comm.recv<int>(0, std::span<int>(&v, 1));
+    });
+  }
 }
 
 }  // namespace

@@ -12,9 +12,19 @@ Structural checks (CI trace-smoke gate):
   * at least --min-lanes distinct tids appear (default 2: the driver
     lane plus at least one rank lane), each with thread_name metadata.
 
+Fault-model checks (--fault-model, for traces of fault-injected runs):
+  * every fault./checkpoint./engine.degrade counter is non-negative;
+  * fault.injected >= 1 (the schedule actually fired);
+  * checkpoint.count matches the number of dist.checkpoint spans and
+    checkpoint.restores the number of dist.restore spans;
+  * every dist.checkpoint span carries a positive `bytes` arg;
+  * fault.retries >= checkpoint.restores (every restore was driven by a
+    counted retry).
+
 Exit code 0 = valid, 1 = any check failed.
 
 Usage: check_trace.py trace.json [--min-depth 4] [--min-lanes 2]
+       [--fault-model]
 """
 
 import argparse
@@ -32,6 +42,7 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("--min-depth", type=int, default=4)
     ap.add_argument("--min-lanes", type=int, default=2)
+    ap.add_argument("--fault-model", action="store_true")
     args = ap.parse_args()
 
     with open(args.trace) as f:
@@ -47,6 +58,7 @@ def main():
     spans = {}  # id -> event
     named_lanes = set()
     lanes = set()
+    counters = {}  # name -> value (aggregate "C" events)
     for ev in events:
         ph = ev.get("ph")
         if ph not in ("X", "M", "C"):
@@ -60,6 +72,7 @@ def main():
         if "ts" not in ev:
             fail(f"event without ts: {ev}")
         if ph == "C":
+            counters[ev["name"]] = ev.get("args", {}).get("value")
             continue
         if "dur" not in ev:
             fail(f"complete event without dur: {ev}")
@@ -96,9 +109,55 @@ def main():
     if unnamed:
         fail(f"lanes without thread_name metadata: {sorted(unnamed)}")
 
+    if args.fault_model:
+        check_fault_model(spans, counters)
+
     print(
         f"check_trace: OK: {len(spans)} spans, max depth {max_depth}, "
         f"{len(lanes)} lanes ({len(events)} events)"
+    )
+
+
+def check_fault_model(spans, counters):
+    """Cross-check the failure-domain counters against the span tree."""
+    fault_names = [
+        n
+        for n in counters
+        if n.startswith(("fault.", "checkpoint.")) or n == "engine.degrade"
+    ]
+    for name in fault_names:
+        v = counters[name]
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"fault-model counter {name} has bad value {v!r}")
+
+    injected = counters.get("fault.injected", 0)
+    if injected < 1:
+        fail("fault-model trace without a single injected fault")
+
+    ckpt_spans = [ev for ev in spans.values() if ev["name"] == "dist.checkpoint"]
+    restore_spans = [ev for ev in spans.values() if ev["name"] == "dist.restore"]
+    if counters.get("checkpoint.count", 0) != len(ckpt_spans):
+        fail(
+            f"checkpoint.count {counters.get('checkpoint.count', 0)} != "
+            f"{len(ckpt_spans)} dist.checkpoint spans"
+        )
+    if counters.get("checkpoint.restores", 0) != len(restore_spans):
+        fail(
+            f"checkpoint.restores {counters.get('checkpoint.restores', 0)} != "
+            f"{len(restore_spans)} dist.restore spans"
+        )
+    for ev in ckpt_spans:
+        if ev["args"].get("bytes", 0) <= 0:
+            fail(f"dist.checkpoint span without positive bytes arg: {ev}")
+    if counters.get("fault.retries", 0) < counters.get("checkpoint.restores", 0):
+        fail(
+            f"fault.retries {counters.get('fault.retries', 0)} < "
+            f"checkpoint.restores {counters.get('checkpoint.restores', 0)}"
+        )
+    print(
+        f"check_trace: fault-model OK: {injected:.0f} injected, "
+        f"{len(ckpt_spans)} checkpoints, {len(restore_spans)} restores, "
+        f"{counters.get('fault.retries', 0):.0f} retries"
     )
 
 
