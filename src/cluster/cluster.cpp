@@ -83,6 +83,7 @@ void Comm::recv_bytes(int src, std::span<std::byte> data, int tag) {
       if (arrived) continue;
       // abort_all locks every mailbox, including this one.
       lock.unlock();
+      obs::instant("cluster.timeout");
       obs::counter_add("fault.timeouts", 1);
       state_->abort_all();
       throw TimeoutError("recv from rank " + std::to_string(src) + " (tag " +
@@ -126,6 +127,9 @@ void Comm::barrier() {
 
 void Comm::comm_alltoall_counts(std::span<const std::size_t> send,
                                 std::span<std::size_t> recv) {
+  // The count exchange is its own blocking phase of alltoallv, so it is
+  // its own fault site — a loss here wedges the payload phase.
+  fault_point("cluster.alltoallv.counts", rank_);
   const int p = size();
   for (int r = 0; r < p; ++r) {
     if (r == rank_) {
@@ -329,6 +333,7 @@ void ClusterSession::sync() {
       }
       if (!watchdog_fired) {
         watchdog_fired = true;
+        obs::instant("cluster.timeout");
         obs::counter_add("fault.timeouts", 1);
         // Lock order stays mutex_ -> mailbox/barrier, matching the
         // recover_locked path; workers never hold both in reverse.

@@ -27,8 +27,11 @@
 //    hung in pure *compute* cannot be preempted — the same limitation
 //    real MPI has — but every communication wait is bounded.
 //  * Named fault-injection sites (cluster.send/recv/sendrecv/barrier/
-//    job) call cluster::fault_point, so a deterministic FaultInjector
-//    (fault.hpp) can exercise all of the above on demand.
+//    broadcast/allgather/alltoall/alltoallv[.counts]/job) call
+//    cluster::fault_point, so a deterministic FaultInjector (fault.hpp)
+//    can exercise all of the above on demand — every communication
+//    entry point is a place the campaign can fail (enforced by
+//    tools/qc_analyze rule fault-site).
 //
 // The runtime is persistent: a ClusterSession spawns its rank threads
 // once and parks them on a job queue. submit() enqueues a closure that
@@ -151,6 +154,7 @@ class Comm {
   template <typename T>
   void broadcast(int root, std::span<T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("cluster.broadcast", rank_);
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r)
         if (r != root) send<T>(r, data, kCollectiveTag);
@@ -167,6 +171,7 @@ class Comm {
     const std::size_t block = local.size();
     if (all.size() != block * static_cast<std::size_t>(size()))
       throw std::invalid_argument("allgather: output size mismatch");
+    fault_point("cluster.allgather", rank_);
     for (int r = 0; r < size(); ++r)
       if (r != rank_) send<T>(r, local, kCollectiveTag);
     std::memcpy(all.data() + static_cast<std::size_t>(rank_) * block, local.data(),
@@ -186,6 +191,7 @@ class Comm {
     const int p = size();
     if (out.size() != in.size() || out.size() % static_cast<std::size_t>(p) != 0)
       throw std::invalid_argument("alltoall: sizes must match and divide rank count");
+    fault_point("cluster.alltoall", rank_);
     const std::size_t block = out.size() / p;
     for (int r = 0; r < p; ++r)
       if (r != rank_) send<T>(r, out.subspan(static_cast<std::size_t>(r) * block, block),
@@ -221,6 +227,7 @@ class Comm {
     for (const std::size_t c : send_counts) total += c;
     if (sendbuf.size() != total)
       throw std::invalid_argument("alltoallv: counts do not match buffer size");
+    fault_point("cluster.alltoallv", rank_);
 
     // Exchange counts with a fixed-size alltoall, then the payloads.
     recv_counts.assign(static_cast<std::size_t>(p), 0);

@@ -221,7 +221,9 @@ void set_current_injector(FaultInjector* inj) noexcept {
 }
 
 bool fault_point(std::string_view site, int rank, bool can_drop) {
-  FaultInjector* inj = g_injector.load(std::memory_order_relaxed);
+  // Acquire pairs with set_current_injector's release store: a rank
+  // thread that sees the pointer must also see the injector's rules.
+  FaultInjector* inj = g_injector.load(std::memory_order_acquire);
   if (inj == nullptr) return false;
   double delay_s = 0;
   const std::optional<FaultAction> action = inj->visit(site, rank, &delay_s);
@@ -249,9 +251,11 @@ bool fault_point(std::string_view site, int rank, bool can_drop) {
 
 const std::vector<std::string>& known_fault_sites() {
   static const std::vector<std::string> kSites = {
-      "cluster.send",  "cluster.recv",     "cluster.sendrecv",   "cluster.barrier",
-      "cluster.job",   "dist.alloc",       "dist.exchange",      "dist.exchange_pass",
-      "dist.scatter",  "dist.gather",
+      "cluster.send",      "cluster.recv",      "cluster.sendrecv",
+      "cluster.barrier",   "cluster.broadcast", "cluster.allgather",
+      "cluster.alltoall",  "cluster.alltoallv", "cluster.alltoallv.counts",
+      "cluster.job",       "dist.alloc",        "dist.exchange",
+      "dist.exchange_pass", "dist.scatter",     "dist.gather",
   };
   return kSites;
 }

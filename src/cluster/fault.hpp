@@ -22,9 +22,12 @@
 //
 // Installation mirrors obs::Tracer: a process-global pointer behind an
 // atomic, RAII-scoped by ScopedFaultInjector. With no injector installed
-// a fault_point is one relaxed atomic load and a branch — cheap enough
-// to stay compiled into the communication hot paths (the Release bench
-// contract is <3% with injection compiled in but disabled).
+// a fault_point is one acquire atomic load and a branch (the acquire
+// pairs with the installer's release store, so rank threads that see
+// the pointer see the rules; free on x86, cheap everywhere) — cheap
+// enough to stay compiled into the communication hot paths (the
+// Release bench contract is <3% with injection compiled in but
+// disabled).
 //
 // Sites instrumented today (new cluster code must name its own — see
 // CONTRIBUTING):
@@ -33,6 +36,11 @@
 //   cluster.recv        blocking receive
 //   cluster.sendrecv    symmetric exchange entry
 //   cluster.barrier     barrier entry
+//   cluster.broadcast   broadcast entry (root fan-out / leaf receive)
+//   cluster.allgather   allgather entry (all-to-all block exchange)
+//   cluster.alltoall    block-transpose alltoall entry
+//   cluster.alltoallv   variable alltoallv entry (payload phase)
+//   cluster.alltoallv.counts  alltoallv count-exchange phase
 //   cluster.job         rank worker, before the job closure runs
 //   dist.alloc          DistStateVector chunk allocation
 //   dist.exchange       combine-with-paired-chunk exchange
@@ -181,7 +189,7 @@ class FaultInjector {
 };
 
 /// The process-wide installed injector (nullptr = injection disabled).
-/// One relaxed atomic load — the only cost a fault_point pays when
+/// One acquire atomic load — the only cost a fault_point pays when
 /// injection is off.
 [[nodiscard]] FaultInjector* current_injector() noexcept;
 
@@ -203,7 +211,7 @@ class ScopedFaultInjector {
   FaultInjector* prev_;
 };
 
-/// The instrumentation hook every named site calls. No-op (one relaxed
+/// The instrumentation hook every named site calls. No-op (one acquire
 /// atomic load) without an installed injector. When a rule fires:
 /// Delay sleeps and proceeds; Abort throws InjectedFault; AllocFail
 /// throws AllocFailure; Drop returns true when `can_drop` (the send

@@ -440,6 +440,7 @@ class DistBackend final : public Backend {
   /// a second — the cluster is in-process, the backoff only prevents a
   /// hot retry loop against a still-unhealthy session).
   void note_retry(int attempt) {
+    obs::instant("fault.retry");
     obs::counter_add("fault.retries", 1);
     const double backoff_s = 0.0005 * std::ldexp(1.0, std::min(attempt, 8));
     obs::counter_add("fault.backoff_ms", backoff_s * 1e3);

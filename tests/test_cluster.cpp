@@ -246,7 +246,7 @@ TEST(Comm, InvalidRankThrows) {
   Cluster cluster(2);
   EXPECT_THROW(cluster.run([](Comm& comm) {
                  std::vector<int> v(1);
-                 comm.send<int>(7, v);
+                 comm.send<int>(7, v);  // lint:allow(p2p-unmatched) -- invalid-rank send must throw before delivery
                }),
                std::invalid_argument);
 }
@@ -257,7 +257,7 @@ TEST(Cluster, PeerFailureAbortsBlockedRanks) {
                  if (comm.rank() == 0) throw std::runtime_error("rank0 died");
                  // Other ranks block forever unless aborted.
                  std::vector<int> v(1);
-                 comm.recv<int>(0, v);
+                 comm.recv<int>(0, v);  // lint:allow(p2p-unmatched) -- deliberately unanswered: abort must wake it
                }),
                std::runtime_error);
 }
@@ -332,7 +332,7 @@ TEST(ClusterSession, AbortInOneJobLeavesSessionUsable) {
     if (comm.rank() == 0) throw std::runtime_error("job1 died");
     // Peers block until the abort wakes them with ClusterAborted.
     std::vector<int> v(1);
-    comm.recv<int>(0, v);
+    comm.recv<int>(0, v);  // lint:allow(p2p-unmatched) -- deliberately unanswered: abort must wake it
   });
   EXPECT_THROW(session.sync(), std::runtime_error);
   // The session recovered: the next job runs on a clean substrate
@@ -363,7 +363,7 @@ TEST(ClusterSession, SyncPrefersRootCauseOverClusterAborted) {
   ClusterSession session(4, 1);
   session.submit([](Comm& comm) {
     if (comm.rank() == 2) throw std::invalid_argument("root cause");
-    comm.barrier();  // everyone else dies of ClusterAborted
+    comm.barrier();  // lint:allow(collective-divergence) -- divergence is the subject: peers must die of ClusterAborted
   });
   EXPECT_THROW(session.sync(), std::invalid_argument);
 }

@@ -167,7 +167,7 @@ TEST(FaultSession, RecvDeadlineRaisesTimeoutErrorAndSessionRecovers) {
   session.submit([](Comm& comm) {
     if (comm.rank() == 0) return;  // never sends
     int v = 0;
-    comm.recv<int>(0, std::span<int>(&v, 1));
+    comm.recv<int>(0, std::span<int>(&v, 1));  // lint:allow(p2p-unmatched) -- starved on purpose: deadline must fire
   });
   EXPECT_THROW(session.sync(), TimeoutError);
   session.set_timeout(0);

@@ -73,7 +73,7 @@ TEST(StressCluster, AbortDuringQueuedBatchSkipsRestOfBatch) {
     session.submit([](Comm&) {});  // healthy leading job
     session.submit([](Comm& comm) {
       if (comm.rank() == 1) throw std::logic_error("mid-batch failure");
-      comm.barrier();
+      comm.barrier();  // lint:allow(collective-divergence) -- divergence is the subject: abort must wake the barrier
     });
     session.submit([&ran_after_failure](Comm&) { ran_after_failure += 1; });
     EXPECT_THROW(session.sync(), std::logic_error);
@@ -150,7 +150,7 @@ TEST(StressTrace, RankSpansParentAcrossThreadsUnderAborts) {
       span.arg("rank", static_cast<double>(comm.rank()));
       if (cycle % 3 == 0 && comm.rank() == 0)
         throw std::runtime_error("traced failure");
-      comm.barrier();
+      comm.barrier();  // lint:allow(collective-divergence) -- divergence is the subject: traced abort path
     });
     if (cycle % 3 == 0) {
       EXPECT_THROW(session.sync(), std::runtime_error);
@@ -197,7 +197,7 @@ TEST(StressCluster, DestructorUnderInFlightTimedOutJob) {
     session.submit([](Comm& comm) {
       if (comm.rank() == 0) return;  // never sends: peers block, then time out
       int v = 0;
-      comm.recv<int>(0, std::span<int>(&v, 1));
+      comm.recv<int>(0, std::span<int>(&v, 1));  // lint:allow(p2p-unmatched) -- starved on purpose: teardown under timeout
     });
     if (i % 2 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
     // Destructor runs here with the job in flight (or mid-unwind).
@@ -213,7 +213,7 @@ TEST(StressCluster, DestructorWithoutTimeoutAfterAbort) {
     session.submit([](Comm& comm) {
       if (comm.rank() == 0) throw std::runtime_error("die before sending");
       int v = 0;
-      comm.recv<int>(0, std::span<int>(&v, 1));
+      comm.recv<int>(0, std::span<int>(&v, 1));  // lint:allow(p2p-unmatched) -- starved on purpose: teardown after abort
     });
   }
 }

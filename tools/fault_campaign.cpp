@@ -119,6 +119,8 @@ std::vector<std::string> core_schedules(double /*timeout_s*/) {
       "drop@cluster.send#2/1",          // rank 1 loses its 3rd send
       "delay@cluster.job#1/0:150",      // slow rank, inside deadline
       "delay@cluster.barrier#1:150",    // slow barrier arrival
+      "abort@cluster.allgather#0",      // collective abort (measurement path)
+      "delay@cluster.broadcast#0:100",  // slow outcome broadcast, inside deadline
       "allocfail@dist.alloc#0/1",       // rank 1 chunk allocation fails
       // Cascade: every recovery attempt is itself aborted until the
       // retry budget runs out — the degradation ladder's deterministic
@@ -133,7 +135,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto n = static_cast<qubit_t>(cli.get_int("qubits", 16));
   const int ranks = static_cast<int>(cli.get_int("ranks", 4));
-  const auto want = static_cast<std::size_t>(cli.get_int("schedules", 14));
+  const auto want = static_cast<std::size_t>(cli.get_int("schedules", 16));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const double timeout_s = cli.get_double("timeout", 0.5);
   const int retries = static_cast<int>(cli.get_int("retries", 2));

@@ -21,29 +21,41 @@ Rules:
                    must release itself. Bare mutex .lock()/.unlock(),
                    malloc/free and naked new inside a submit closure are
                    rejected — use lock_guard/unique_lock and containers.
+                   Delegated to tools/qc_analyze's AST-accurate rule,
+                   which also sees lambdas nested in the closure and
+                   same-file helpers it calls (the old regex scan saw
+                   neither).
 
   header-compile   every header under src/ must compile on its own
                    (self-contained includes), checked by feeding
                    `#include "<header>"` to the compiler per header.
+                   Flags come from the build tree's
+                   compile_commands.json when present (so the check
+                   matches the real build), with a hardcoded fallback.
 
 A finding can be waived on its line with a trailing comment:
     foo();  // lint:allow(<rule>) -- reason
 Waivers require a reason and are themselves reported (as notes).
 
-Usage: tools/lint.py [--skip-headers] [--cxx g++]
+Usage: tools/lint.py [--skip-headers] [--cxx g++] [-p build]
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
+import shlex
 import subprocess
 import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+sys.path.insert(0, os.path.join(REPO, "tools", "qc_analyze"))
+import qc_analyze  # noqa: E402
 
 # Library code gets every rule; tests/bench/examples still must not race
 # or UB, so raw-shift and submit-closure apply there too, but naked-new
@@ -51,7 +63,12 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LIB_DIRS = ["src", "tools"]
 ALL_DIRS = ["src", "tools", "tests", "bench", "examples"]
 
-ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)\s*(?:--|—)?\s*(.*)")
+ALLOW = re.compile(r"lint:allow\(([a-z0-9-]+)\)\s*(?:--|—)?\s*(.*)")
+
+
+# The analyzer's fixture corpus deliberately violates every rule; it is
+# analyzer *input*, never compiled and never linted.
+FIXTURES = os.path.join(REPO, "tools", "qc_analyze", "fixtures")
 
 
 def cxx_files(dirs):
@@ -60,6 +77,8 @@ def cxx_files(dirs):
         if not os.path.isdir(root):
             continue
         for dirpath, _, names in os.walk(root):
+            if dirpath.startswith(FIXTURES):
+                continue
             for name in sorted(names):
                 if name.endswith((".cpp", ".hpp")):
                     yield os.path.join(dirpath, name)
@@ -158,58 +177,61 @@ def check_naked_new(path, raw_lines, clean_lines, findings):
         "naked new — use std::make_unique/make_shared or a container", findings)
 
 
-SUBMIT = re.compile(r"\b(?:submit|run)\s*\(\s*\[")
-UNSAFE_IN_CLOSURE = [
-    (re.compile(r"\.\s*lock\s*\(\s*\)"), "bare .lock() — use std::lock_guard/unique_lock"),
-    (re.compile(r"\.\s*unlock\s*\(\s*\)"), "bare .unlock() — use std::lock_guard/unique_lock"),
-    (re.compile(r"\bmalloc\s*\("), "malloc in a rank closure — use containers"),
-    (re.compile(r"\bfree\s*\("), "free in a rank closure — use containers"),
-    (NAKED_NEW, "naked new in a rank closure — leaks when the job throws"),
-]
+def check_submit_closures(findings):
+    """Delegates to qc-analyze's AST rule: the regex predecessor scanned
+    only the closure's textual brace extent, so it missed unsafe code in
+    same-file helpers the closure calls (and misattributed nested
+    lambdas). The analyzer walks both; waivers use the identical
+    lint:allow(submit-closure) syntax and surface here unchanged."""
+    files = qc_analyze.files_from_paths(
+        [d for d in ALL_DIRS if os.path.isdir(os.path.join(REPO, d))])
+    results, _ = qc_analyze.analyze(files, {"submit-closure"})
+    for f in results:
+        path = os.path.join(REPO, f.file)
+        if f.waived:
+            findings.note(path, f.line, f"waived [submit-closure]: {f.reason}")
+        else:
+            findings.error(path, f.line, "submit-closure", f.message)
 
 
-def closure_extent(text: str, open_brace: int) -> int:
-    depth = 0
-    for i in range(open_brace, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i
-    return len(text) - 1
-
-
-def check_submit_closures(path, raw_lines, clean_text, findings):
-    """Exception-safety scan of every closure passed to submit()/run():
-    the closure body (balanced-brace extent from the lambda's opening
-    brace) must not acquire resources that a throw would strand."""
-    for m in SUBMIT.finditer(clean_text):
-        brace = clean_text.find("{", m.end())
-        if brace < 0:
+def flags_from_compile_db(build_dir: str):
+    """Include paths / -std / -D / OpenMP flags of a real src/ TU from
+    the build tree's compile_commands.json, so the header check compiles
+    headers the way the build does. Returns None if no database."""
+    db = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db):
+        return None
+    with open(db, encoding="utf-8") as f:
+        entries = json.load(f)
+    for entry in entries:
+        src_file = entry.get("file", "")
+        if not src_file.endswith(".cpp") or (os.sep + "src" + os.sep) not in src_file:
             continue
-        end = closure_extent(clean_text, brace)
-        body = clean_text[brace : end + 1]
-        body_line0 = clean_text.count("\n", 0, brace) + 1
-        for pattern, why in UNSAFE_IN_CLOSURE:
-            for bm in pattern.finditer(body):
-                lineno = body_line0 + body.count("\n", 0, bm.start())
-                raw = raw_lines[lineno - 1]
-                waiver = waiver_for(raw)
-                if waiver and waiver[0] == "submit-closure":
-                    if not waiver[1]:
-                        findings.error(path, lineno, "submit-closure",
-                                       "waiver without a reason")
-                    else:
-                        findings.note(path, lineno,
-                                      f"waived [submit-closure]: {waiver[1]}")
-                    continue
-                findings.error(path, lineno, "submit-closure", why)
+        argv = entry.get("arguments") or shlex.split(entry["command"])
+        base = entry.get("directory", build_dir)
+        flags, take_path = [], False
+        for arg in argv[1:]:
+            if take_path:
+                flags.append(os.path.normpath(os.path.join(base, arg)))
+                take_path = False
+            elif arg in ("-I", "-isystem"):
+                flags.append(arg)
+                take_path = True
+            elif arg.startswith("-I"):
+                flags.append("-I" + os.path.normpath(os.path.join(base, arg[2:])))
+            elif arg.startswith(("-D", "-std=")) or arg == "-fopenmp":
+                flags.append(arg)
+        if flags:
+            return flags
+    return None
 
 
-def check_headers(cxx: str, findings) -> bool:
+def check_headers(cxx: str, build_dir: str, findings) -> bool:
     """Compiles `#include "<header>"` for every header under src/."""
     headers = [p for p in cxx_files(["src"]) if p.endswith(".hpp")]
+    flags = flags_from_compile_db(build_dir)
+    if flags is None:
+        flags = ["-std=c++20", "-fopenmp", "-I", os.path.join(REPO, "src")]
     ok = True
     with tempfile.TemporaryDirectory() as tmp:
         for header in headers:
@@ -217,8 +239,7 @@ def check_headers(cxx: str, findings) -> bool:
             tu = os.path.join(tmp, "header_check.cpp")
             with open(tu, "w") as f:
                 f.write(f'#include "{rel}"\n')
-            cmd = [cxx, "-std=c++20", "-fsyntax-only", "-fopenmp",
-                   "-I", os.path.join(REPO, "src"), tu]
+            cmd = [cxx, *flags, "-fsyntax-only", tu]
             proc = subprocess.run(cmd, capture_output=True, text=True)
             if proc.returncode != 0:
                 ok = False
@@ -234,6 +255,10 @@ def main() -> int:
                     help="skip the compile-each-header check (no compiler needed)")
     ap.add_argument("--cxx", default=os.environ.get("CXX", "g++"),
                     help="compiler for the header check (default: $CXX or g++)")
+    ap.add_argument("-p", "--build", default=os.path.join(REPO, "build"),
+                    help="build dir whose compile_commands.json supplies the "
+                         "header-check flags (default: ./build; falls back "
+                         "to hardcoded flags if absent)")
     args = ap.parse_args()
 
     findings = Findings()
@@ -246,11 +271,10 @@ def main() -> int:
         check_raw_shift(path, raw_lines, clean_lines, findings)
         if any(os.path.relpath(path, REPO).startswith(d + os.sep) for d in LIB_DIRS):
             check_naked_new(path, raw_lines, clean_lines, findings)
-        if "cluster" in clean_text or "submit" in clean_text:
-            check_submit_closures(path, raw_lines, clean_text, findings)
+    check_submit_closures(findings)
 
     if not args.skip_headers:
-        check_headers(args.cxx, findings)
+        check_headers(args.cxx, args.build, findings)
 
     for note in findings.notes:
         print(f"note: {note}")

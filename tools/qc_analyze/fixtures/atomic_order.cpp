@@ -1,0 +1,73 @@
+// qc-analyze: treat-as src/obs/fixture.cpp
+// Fixture corpus: rule atomic-order (relaxed loads of atomics whose
+// store side publishes with memory_order_release — the reader is not
+// guaranteed to see the published object's contents). Never compiled —
+// analyzer input only.
+#include <atomic>
+#include <cstdint>
+
+struct Widget;
+struct Config;
+struct Table;
+
+namespace {
+std::atomic<Widget*> g_widget{nullptr};
+std::atomic<bool> g_flag{false};
+std::atomic<Config*> g_config{nullptr};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<bool> g_ready{false};
+std::atomic<Table*> g_table{nullptr};
+}  // namespace
+
+// --- positives --------------------------------------------------------
+
+// Classic publish/subscribe tear: release store, relaxed read.
+void publish_widget(Widget* w) {
+  g_widget.store(w, std::memory_order_release);
+}
+Widget* peek_widget() {
+  return g_widget.load(std::memory_order_relaxed);  // expect: atomic-order
+}
+
+// exchange() with release ordering is a publishing write too.
+bool swap_flag() {
+  return g_flag.exchange(true, std::memory_order_release);
+}
+bool peek_flag() {
+  return g_flag.load(std::memory_order_relaxed);  // expect: atomic-order
+}
+
+// Scoped-enumerator spelling of the orders.
+void publish_config(Config* c) {
+  g_config.store(c, std::memory_order::release);
+}
+Config* peek_config() {
+  return g_config.load(std::memory_order::relaxed);  // expect: atomic-order
+}
+
+// --- negatives --------------------------------------------------------
+
+// A pure counter: relaxed on both sides is the right ordering.
+void count_hit() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+std::uint64_t hits() {
+  return g_hits.load(std::memory_order_relaxed);
+}
+
+// The writer uses the (seq_cst) default, not release: out of scope for
+// this rule.
+void set_ready() {
+  g_ready.store(true);
+}
+bool ready_relaxed_poll() {
+  return g_ready.load(std::memory_order_relaxed);
+}
+
+// Correctly paired release/acquire.
+void publish_table(Table* t) {
+  g_table.store(t, std::memory_order_release);
+}
+Table* read_table() {
+  return g_table.load(std::memory_order_acquire);
+}

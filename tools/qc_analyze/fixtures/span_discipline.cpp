@@ -1,0 +1,58 @@
+// qc-analyze: treat-as src/engine/fixture.cpp
+// Fixture corpus: rule span-discipline (engine/sched/cluster code that
+// emits counters must do so inside an obs span or mark the event with
+// an instant, so the metric lands in a traceable context). Never
+// compiled — analyzer input only.
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// --- positives --------------------------------------------------------
+
+// A counter with no span, no instant, no interval: orphaned metric.
+void bump_queue_depth(int n) {
+  qc::obs::counter_add("engine.queue_depth", n);  // expect: span-discipline
+}
+
+// Both counters in the scope are orphaned: one finding per counter.
+void tally_flush(int pages, int bytes) {
+  qc::obs::counter_add("engine.flush.pages", pages);  // expect: span-discipline
+  qc::obs::counter_add("engine.flush.bytes", bytes);  // expect: span-discipline
+}
+
+// A lambda is its own scope; neither it nor its enclosing function
+// opens a span, so the counter inside it is orphaned too.
+void counter_in_naked_lambda(std::vector<int>& xs) {
+  auto note = [](int v) { qc::obs::counter_add("engine.xs", v); };  // expect: span-discipline
+  for (int x : xs) note(x);
+}
+
+// --- negatives --------------------------------------------------------
+
+// Counter under an open span in the same scope.
+void counted_sweep(std::vector<double>& buf) {
+  qc::obs::Span span("engine.sweep");
+  for (double& v : buf) v *= 2.0;
+  qc::obs::counter_add("engine.sweep.elems", static_cast<long long>(buf.size()));
+}
+
+// An instant marks the event the counter belongs to.
+void record_retry(int attempt) {
+  qc::obs::instant("engine.retry");
+  qc::obs::counter_add("engine.retries", 1);
+  (void)attempt;
+}
+
+// The enclosing function's span covers the lambda (ancestor evidence).
+void counter_under_parent_span(std::vector<int>& xs) {
+  qc::obs::Span span("engine.noted_sweep");
+  auto note = [](int v) { qc::obs::counter_add("engine.noted.xs", v); };
+  for (int x : xs) note(x);
+}
+
+// Interval emission is span-equivalent evidence.
+void flush_interval(double t0, double t1) {
+  qc::obs::emit_interval("engine.flush", t0, t1);
+  qc::obs::counter_add("engine.flushes", 1);
+}

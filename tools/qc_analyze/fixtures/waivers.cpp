@@ -1,0 +1,40 @@
+// qc-analyze: treat-as tests/fixture.cpp
+// Fixture corpus: waiver syntax round-trip. Expectations for this file
+// are asserted explicitly by tests/test_qc_analyze.py rather than via
+// `expect:` markers, because the waiver comments themselves occupy the
+// trailing-comment position. Never compiled — analyzer input only.
+#include "cluster/cluster.hpp"
+
+using qc::cluster::Comm;
+
+// A waiver with a reason downgrades the finding to a note.
+void waived_divergence(Comm& comm) {
+  if (comm.rank() == 0)
+    comm.barrier();  // lint:allow(collective-divergence) -- fixture: waiver with a reason becomes a note
+}
+
+// A waiver without a reason is itself an error.
+void reasonless_waiver(Comm& comm) {
+  if (comm.rank() == 0)
+    comm.barrier();  // lint:allow(collective-divergence)
+}
+
+// A waiver naming a different rule does not suppress this one.
+void wrong_rule_waiver(Comm& comm) {
+  if (comm.rank() == 0)
+    comm.barrier();  // lint:allow(raw-shift) -- wrong rule: must not suppress the divergence
+}
+
+// The waiver may sit on the line directly above the finding.
+void waiver_on_line_above(Comm& comm) {
+  if (comm.rank() == 0) {
+    // lint:allow(collective-divergence) -- fixture: waiver on the preceding line
+    comm.barrier();
+  }
+}
+
+// No waiver at all: plain error.
+void unwaived_divergence(Comm& comm) {
+  if (comm.rank() == 0)
+    comm.barrier();
+}
