@@ -9,6 +9,8 @@
 // expected >= 5x faster than "hpc" end to end.
 //
 // Run: ./bench_engine [--qubits 20] [--backends auto,hpc,fused] [--reps 3]
+//      [--precision f64|f32] — amplitude precision of the gate segments
+//                     (f32 runs the float kernels; emulation stays fp64)
 //      [--metrics]  — re-run each backend once with tracing on and embed
 //                     the flat obs metrics (spans/lanes/imbalance) per run
 #include <cstdio>
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   const qubit_t n = static_cast<qubit_t>(cli.get_int("qubits", 20));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const bool metrics = cli.has("metrics");
+  const std::string precision = cli.get_string("precision", "f64");
   const std::vector<std::string> backends =
       split_names(cli.get_string("backends", "auto,hpc,fused"));
 
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
 
   std::printf("{\n  \"bench\": \"bench_engine\",\n  \"qubits\": %u,\n  \"reps\": %d,\n", n,
               reps);
+  std::printf("  \"precision\": \"%s\",\n", precision.c_str());
   std::printf("  \"program\": [");
   for (std::size_t i = 0; i < program.ops().size(); ++i)
     std::printf("%s\"%s\"", i ? ", " : "", json_escape(program.ops()[i].label()).c_str());
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   for (std::size_t b = 0; b < backends.size(); ++b) {
     engine::RunOptions opts;
     opts.backend = backends[b];
+    opts.precision = precision == "f32" ? Precision::kF32 : Precision::kF64;
     // Best-of-reps end-to-end, trace taken from the fastest run (first
     // runs pay first-touch page faults; see bench_util notes).
     engine::Result best = eng.run(program, opts);

@@ -264,7 +264,7 @@ int main(int argc, char** argv) {
     if (traced.trace_data != nullptr) {
       const obs::TraceData& data = *traced.trace_data;
       obs::summary_table(data).print("traced dist run — span summary");
-      obs::model_report_table(obs::model_report(data))
+      obs::model_report_table(obs::model_report(data), data)
           .print("model drift: measured vs predicted (drift > 1: model optimistic)");
       std::printf("load imbalance (max/mean rank exec - 1): %.3f\n",
                   obs::load_imbalance(data));

@@ -9,6 +9,9 @@
 // the X-conjugated multi-controlled-Z network a simulator must pay for.
 //
 // Run: ./grover [--qubits 12] [--marked 1234] [--backend auto]
+//               [--precision f64|f32]   — f32 runs gate segments on the
+//               float kernels; Grover tolerates the drift easily (the
+//               readout only needs the marked item's peak to survive)
 #include <cmath>
 #include <cstdio>
 #include <numbers>
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
 
   engine::RunOptions opts;
   opts.backend = cli.get_string("backend", "auto");
+  opts.precision =
+      cli.get_string("precision", "f64") == "f32" ? Precision::kF32 : Precision::kF64;
   const engine::Result result = engine::Engine().run(program, opts);
 
   // Read out the answer from the exact distribution (§3.4 shortcut).

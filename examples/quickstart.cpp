@@ -16,6 +16,9 @@
 // Options:
 //   --backend NAME   gate-level comparison backend (default hpc)
 //   --ranks N        rank count for --backend dist (default 4)
+//   --precision P    amplitude precision of the gate-level run: f64
+//                    (default) or f32 — fp32 runs the float kernels and
+//                    loosens the agreement check to the 1e-6 drift bound
 //   --trace FILE     write a Chrome trace_event JSON of the gate-level
 //                    run (open in about:tracing / Perfetto) and print
 //                    the span summary + model-drift report
@@ -43,8 +46,16 @@ int main(int argc, char** argv) {
   using namespace qc;
   const Cli cli(argc, argv);
   const std::string backend = cli.get_string("backend", "hpc");
+  const std::string precision = cli.get_string("precision", "f64");
   const std::string trace_file = cli.get_string("trace", "");
   const std::string metrics_file = cli.get_string("metrics", "");
+  if (precision != "f64" && precision != "f32") {
+    std::printf("unknown --precision '%s' (f64 or f32)\n", precision.c_str());
+    return 1;
+  }
+  // fp32 kernels are exact to ~1e-7 per gate; the shared drift bound is
+  // the RunOptions::precision contract (see tests/test_precision.cpp).
+  const double tol = precision == "f32" ? 1e-6 : 1e-12;
 
   // --- 1. one program, gate-level and high-level ops mixed -------------
   const qubit_t n = 6;
@@ -72,6 +83,7 @@ int main(int argc, char** argv) {
   // (plus a carry ancilla it appends and projects away) and the QFTs to
   // the O(n^2) gate cascade. Same seed, same outcomes, same state.
   opts.backend = backend;
+  opts.precision = precision == "f32" ? Precision::kF32 : Precision::kF64;
   opts.dist_ranks = static_cast<int>(cli.get_int("ranks", 4));
   opts.trace = !trace_file.empty() || !metrics_file.empty();
   const engine::Result simulated = eng.run(program, opts);
@@ -119,10 +131,11 @@ int main(int argc, char** argv) {
     std::printf(" %s", name.c_str());
   std::printf("\n");
 
-  if (diff > 1e-12 || emulated.measurements[0] != simulated.measurements[0]) {
+  if (diff > tol || emulated.measurements[0] != simulated.measurements[0]) {
     std::printf("MISMATCH between auto and %s backends\n", backend.c_str());
     return 1;
   }
-  std::printf("ok: auto and %s agree to 1e-12\n", backend.c_str());
+  std::printf("ok: auto and %s (%s) agree to %.0e\n", backend.c_str(), precision.c_str(),
+              tol);
   return 0;
 }

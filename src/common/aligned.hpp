@@ -15,6 +15,17 @@ namespace qc {
 
 inline constexpr std::size_t kAlignment = 64;
 
+/// Widest SIMD register the kernels may load from amplitude storage:
+/// one AVX-512 zmm register (64 bytes). The runtime-dispatched kernels
+/// (src/sim/kernels_dispatch.hpp) issue full-width loads directly into
+/// StateVector memory, so allocator alignment must stay a multiple of
+/// the register width — otherwise an "aligned" vector could still split
+/// a vector load across cache lines (or fault under aligned moves).
+inline constexpr std::size_t kMaxSimdBytes = 64;
+static_assert(kAlignment % kMaxSimdBytes == 0,
+              "kAlignment must cover one full AVX-512 register so "
+              "runtime-dispatched kernels can use full-width loads");
+
 /// Minimal standard allocator returning 64-byte-aligned memory.
 template <typename T>
 struct AlignedAllocator {

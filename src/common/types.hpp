@@ -9,8 +9,39 @@ namespace qc {
 
 /// Complex amplitude type used throughout the library. The paper stores
 /// wave functions as vectors of double-precision complex numbers
-/// (16 bytes per entry); we follow that convention.
+/// (16 bytes per entry); we follow that convention. The execution stack
+/// is additionally templated on the underlying real scalar (see
+/// basic_complex_t) so runs can opt into fp32 amplitudes, which halve
+/// bytes per sweep and buy one extra qubit per node at equal memory.
 using complex_t = std::complex<double>;
+
+/// Complex amplitude over an arbitrary real scalar T in {float, double}.
+template <typename T>
+using basic_complex_t = std::complex<T>;
+
+/// Amplitude precision of a run. fp64 is the default and the reference;
+/// fp32 is an opt-in for bandwidth-bound sweeps whose accumulated error
+/// stays within the documented bound (see README "Kernels & precision").
+enum class Precision : std::uint8_t {
+  kF64 = 0,  ///< std::complex<double> amplitudes (16 bytes).
+  kF32 = 1,  ///< std::complex<float> amplitudes (8 bytes).
+};
+
+/// Bits of the real scalar backing each amplitude component.
+constexpr int precision_bits(Precision p) noexcept {
+  return p == Precision::kF32 ? 32 : 64;
+}
+
+/// Bytes of one complex amplitude at the given precision.
+constexpr std::size_t amplitude_bytes(Precision p) noexcept {
+  return p == Precision::kF32 ? sizeof(std::complex<float>)
+                              : sizeof(std::complex<double>);
+}
+
+/// Human-readable name ("fp64" / "fp32").
+constexpr const char* precision_name(Precision p) noexcept {
+  return p == Precision::kF32 ? "fp32" : "fp64";
+}
 
 /// Index into a 2^n-dimensional state vector. 64 bits supports n <= 63.
 using index_t = std::uint64_t;

@@ -23,17 +23,23 @@ void check_widths(RegRef a, RegRef b, RegRef c) {
 
 }  // namespace
 
-double expectation_z_string(const sim::DistStateVector& dsv, index_t mask) {
+template <typename T>
+double expectation_z_string(const sim::BasicDistStateVector<T>& dsv, index_t mask) {
   const auto a = dsv.local();
   const index_t base = static_cast<index_t>(dsv.comm().rank()) << dsv.local_qubits();
   double acc = 0;
 #pragma omp parallel for reduction(+ : acc) if (worth_parallelizing(a.size()))
   for (index_t i = 0; i < a.size(); ++i) {
-    const double p = std::norm(a[i]);
+    const double re = a[i].real(), im = a[i].imag();
+    const double p = re * re + im * im;
     acc += bits::parity(base | i, mask) ? -p : p;
   }
   return dsv.comm().allreduce_sum(acc);
 }
+
+template double expectation_z_string<float>(const sim::BasicDistStateVector<float>&, index_t);
+template double expectation_z_string<double>(const sim::BasicDistStateVector<double>&,
+                                             index_t);
 
 void DistEmulator::route(const std::function<index_t(index_t)>& f, bool partial) {
   sim::DistStateVector& dsv = *dsv_;

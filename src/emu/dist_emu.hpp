@@ -31,7 +31,10 @@ namespace qc::emu {
 /// Collective <psi| Z_mask |psi> over a distributed state (§3.4 at
 /// cluster scale): each rank reduces its chunk with the global basis
 /// index (rank bits included in the parity), one scalar allreduce.
-double expectation_z_string(const sim::DistStateVector& dsv, index_t mask);
+/// Accumulates in double at either amplitude precision; instantiated
+/// for float/double.
+template <typename T>
+double expectation_z_string(const sim::BasicDistStateVector<T>& dsv, index_t mask);
 
 class DistEmulator {
  public:

@@ -63,18 +63,67 @@ class GateLevelBackend final : public Backend {
   std::unique_ptr<sim::Simulator> sim_;
 };
 
+/// Widens an fp32 working state back into the fp64 host state (the
+/// second half of the convert-at-segment-boundary round trip).
+void widen_into(const sim::BasicStateVector<float>& src, sim::StateVector& dst) {
+  const auto s = src.amplitudes();
+  const auto d = dst.amplitudes();
+  const index_t count = s.size();
+#pragma omp parallel for schedule(static) if (worth_parallelizing(count))
+  for (index_t i = 0; i < count; ++i) d[i] = static_cast<complex_t>(s[i]);
+}
+
+/// Gate-level backend running segments at fp32: the fp64 host state is
+/// narrowed once per segment (BasicStateVector::cast), the segment runs
+/// through the float-instantiated kernels, and the result widens back —
+/// two extra state passes per segment, amortized over its gates, while
+/// every kernel sweep inside moves half the bytes. Measurement ops keep
+/// reading the fp64 host state through the default virtuals.
+class Fp32SegmentBackend final : public Backend {
+ public:
+  using Runner =
+      std::function<void(std::span<basic_complex_t<float>>, qubit_t, const circuit::Circuit&)>;
+
+  Fp32SegmentBackend(std::string name, Runner runner)
+      : name_(std::move(name)), runner_(std::move(runner)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+    if (c.empty()) return;
+    sim::BasicStateVector<float> work = sv.cast<float>();
+    runner_(work.amplitudes(), work.qubits(), c);
+    widen_into(work, sv);
+  }
+
+ private:
+  std::string name_;
+  Runner runner_;
+};
+
 /// The paper's dispatch rule as a backend: high-level ops through the
 /// emu::Emulator shortcuts, gate segments through the cache-blocked
 /// (fused + sweep-scheduled) simulator.
 class AutoBackend final : public Backend {
  public:
   explicit AutoBackend(const RunOptions& opts)
-      : cached_(sched::CachedSimulator::Options{opts.fusion, opts.sched}) {}
+      : cached_(sched::CachedSimulator::Options{opts.fusion, opts.sched}),
+        precision_(opts.precision) {}
 
   [[nodiscard]] std::string name() const override { return "auto"; }
   [[nodiscard]] bool emulates() const override { return true; }
 
   void run_gates(sim::StateVector& sv, const circuit::Circuit& c) override {
+    if (precision_ == Precision::kF32) {
+      // Convert-at-segment-boundary: the emulator's high-level shortcuts
+      // (FFTs, permutations) stay fp64 on the host state; only the gate
+      // segments between them run through the float kernels.
+      if (c.empty()) return;
+      sim::BasicStateVector<float> work = sv.cast<float>();
+      sched::execute_blocked<float>(work.amplitudes(), cached_.plan(c));
+      widen_into(work, sv);
+      return;
+    }
     cached_.run(sv, c);
   }
 
@@ -107,6 +156,7 @@ class AutoBackend final : public Backend {
   }
 
   sched::CachedSimulator cached_;
+  Precision precision_;
   std::unique_ptr<emu::Emulator> emulator_;
   sim::StateVector* bound_ = nullptr;
 };
@@ -128,9 +178,18 @@ class AutoBackend final : public Backend {
 /// difference; counters() reports the actual bytes into the engine
 /// trace). Measurement ops still consume the engine's uniform draw, so
 /// recorded streams match the serial backends seed for seed.
-class DistBackend final : public Backend {
+///
+/// Templated on the resident amplitude scalar T: under fp32 the ranks
+/// hold float chunks (the host state narrows at scatter, widens at
+/// gather), so every chunk exchange, checkpoint and host staging moves
+/// exactly half the fp64 bytes on the same plan — Result.net_bytes and
+/// the model predictions both reflect sizeof(value_type).
+template <typename T>
+class DistBackendT final : public Backend {
  public:
-  explicit DistBackend(const RunOptions& opts)
+  using value_type = basic_complex_t<T>;
+
+  explicit DistBackendT(const RunOptions& opts)
       : ranks_(opts.dist_ranks),
         policy_(opts.dist_policy),
         resident_mode_(opts.dist_resident),
@@ -148,7 +207,7 @@ class DistBackend final : public Backend {
   /// Drops resident chunks without gathering (the engine's end_run is
   /// the one gather point); the session destructor joins the parked
   /// rank threads.
-  ~DistBackend() override { release_slots(); }
+  ~DistBackendT() override { release_slots(); }
 
   [[nodiscard]] std::string name() const override { return "dist"; }
 
@@ -205,7 +264,7 @@ class DistBackend final : public Backend {
     for (int attempt = 0;; ++attempt) {
       try {
         session_->submit([this, phys, u, collapse, &outcome](cluster::Comm& comm) {
-          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          auto& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
           const std::vector<double> dist =
               dsv.register_distribution(std::span<const qubit_t>(phys));
           const index_t o = sim::SampleCdf::from_weights(dist).sample(u);
@@ -255,7 +314,7 @@ class DistBackend final : public Backend {
     for (int attempt = 0;; ++attempt) {
       try {
         session_->submit([this, pmask, &value](cluster::Comm& comm) {
-          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          auto& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
           const double v = emu::expectation_z_string(dsv, pmask);
           if (comm.rank() == 0) value = v;
         });
@@ -319,8 +378,9 @@ class DistBackend final : public Backend {
     const qubit_t n = sv.qubits();
     const auto amps = sv.amplitudes();
     obs::Span scatter_span("dist.scatter");
-    scatter_span.arg("host_bytes", static_cast<double>(models::staging_bytes(n)));
-    scatter_span.arg("pred_s", models::t_host_staging_seconds(n, 1, {}));
+    scatter_span.arg("host_bytes",
+                     static_cast<double>(models::staging_bytes(n, sizeof(value_type))));
+    scatter_span.arg("pred_s", models::t_host_staging_seconds(n, 1, {}, sizeof(value_type)));
     // The scatter retries without a checkpoint: the host state it reads
     // from is untouched by a failed attempt, so each retry just rebuilds
     // the slots from scratch.
@@ -331,13 +391,14 @@ class DistBackend final : public Backend {
       try {
         session_->submit([this, n, amps](cluster::Comm& comm) {
           cluster::fault_point("dist.scatter", comm.rank());
-          auto dsv = std::make_unique<sim::DistStateVector>(comm, n);
+          auto dsv = std::make_unique<sim::BasicDistStateVector<T>>(comm, n);
           const index_t chunk = dim(dsv->local_qubits());
           const auto base =
               static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
-          std::copy(amps.begin() + base,
-                    amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
-                    dsv->local().begin());
+          std::transform(amps.begin() + base,
+                         amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                         dsv->local().begin(),
+                         [](const complex_t& z) { return static_cast<value_type>(z); });
           slots_[static_cast<std::size_t>(comm.rank())] = std::move(dsv);
         });
         session_->sync();
@@ -354,7 +415,7 @@ class DistBackend final : public Backend {
     resident_n_ = n;
     perm_.resize(n);
     std::iota(perm_.begin(), perm_.end(), qubit_t{0});
-    host_bytes_ += models::staging_bytes(n);
+    host_bytes_ += models::staging_bytes(n, sizeof(value_type));
     // Fresh residency: any previous checkpoint/replay state described a
     // different (or stale) resident state.
     ckpt_valid_ = false;
@@ -373,8 +434,10 @@ class DistBackend final : public Backend {
     if (!resident_) return;
     const auto amps = host_->amplitudes();
     obs::Span gather_span("dist.gather");
-    gather_span.arg("host_bytes", static_cast<double>(models::staging_bytes(resident_n_)));
-    gather_span.arg("pred_s", models::t_host_staging_seconds(resident_n_, 1, {}));
+    gather_span.arg("host_bytes", static_cast<double>(models::staging_bytes(
+                                      resident_n_, sizeof(value_type))));
+    gather_span.arg("pred_s",
+                    models::t_host_staging_seconds(resident_n_, 1, {}, sizeof(value_type)));
     for (int attempt = 0;; ++attempt) {
       // Recompute the restore rounds per attempt: a restore_and_replay
       // below resets perm_ to the checkpoint's permutation.
@@ -382,12 +445,13 @@ class DistBackend final : public Backend {
       try {
         session_->submit([this, rounds, amps](cluster::Comm& comm) {
           cluster::fault_point("dist.gather", comm.rank());
-          sim::DistStateVector& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
+          auto& dsv = *slots_[static_cast<std::size_t>(comm.rank())];
           for (const auto& swaps : rounds) dsv.apply_qubit_swaps(swaps);
           const index_t chunk = dim(dsv.local_qubits());
           const auto base =
               static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
-          std::copy(dsv.local().begin(), dsv.local().end(), amps.begin() + base);
+          std::transform(dsv.local().begin(), dsv.local().end(), amps.begin() + base,
+                         [](const value_type& z) { return static_cast<complex_t>(z); });
         });
         session_->sync();
         break;
@@ -403,7 +467,7 @@ class DistBackend final : public Backend {
     }
     gather_span.end();
     release_slots();
-    host_bytes_ += models::staging_bytes(resident_n_);
+    host_bytes_ += models::staging_bytes(resident_n_, sizeof(value_type));
     resident_ = false;
     host_ = nullptr;
   }
@@ -474,7 +538,8 @@ class DistBackend final : public Backend {
   /// duration of the copy.
   void take_checkpoint() {
     obs::Span span("dist.checkpoint");
-    span.arg("bytes", static_cast<double>(models::staging_bytes(resident_n_)));
+    span.arg("bytes", static_cast<double>(
+                          models::staging_bytes(resident_n_, sizeof(value_type))));
     ckpt_valid_ = false;
     ckpt_chunks_.resize(slots_.size());
     for (int attempt = 0;; ++attempt) {
@@ -500,7 +565,8 @@ class DistBackend final : public Backend {
     segments_since_ckpt_ = 0;
     obs::counter_add("checkpoint.count", 1);
     obs::counter_add("checkpoint.bytes",
-                     static_cast<double>(models::staging_bytes(resident_n_)));
+                     static_cast<double>(
+                         models::staging_bytes(resident_n_, sizeof(value_type))));
   }
 
   /// Restores the last checkpoint (or the original scattered host state
@@ -533,8 +599,8 @@ class DistBackend final : public Backend {
       // An aborted alloc-fail can leave a slot null; recreate it (the
       // constructor re-passes the dist.alloc fault site).
       if (slots_[r] == nullptr)
-        slots_[r] = std::make_unique<sim::DistStateVector>(comm, n);
-      sim::DistStateVector& dsv = *slots_[r];
+        slots_[r] = std::make_unique<sim::BasicDistStateVector<T>>(comm, n);
+      auto& dsv = *slots_[r];
       if (from_ckpt) {
         std::copy(ckpt_chunks_[r].begin(), ckpt_chunks_[r].end(), dsv.local().begin());
       } else {
@@ -544,9 +610,10 @@ class DistBackend final : public Backend {
         const index_t chunk = dim(dsv.local_qubits());
         const auto base =
             static_cast<std::ptrdiff_t>(comm.rank()) * static_cast<std::ptrdiff_t>(chunk);
-        std::copy(amps.begin() + base,
-                  amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
-                  dsv.local().begin());
+        std::transform(amps.begin() + base,
+                       amps.begin() + base + static_cast<std::ptrdiff_t>(chunk),
+                       dsv.local().begin(),
+                       [](const complex_t& z) { return static_cast<value_type>(z); });
       }
     });
     session_->sync();
@@ -600,7 +667,7 @@ class DistBackend final : public Backend {
   bool resident_mode_;
 
   std::unique_ptr<cluster::ClusterSession> session_;
-  std::vector<std::unique_ptr<sim::DistStateVector>> slots_;  ///< One per rank.
+  std::vector<std::unique_ptr<sim::BasicDistStateVector<T>>> slots_;  ///< One per rank.
   /// Per-rank bytes_communicated() value at the last snapshot_net —
   /// deltas against these attribute communication to the right op.
   std::vector<std::uint64_t> slot_bytes_seen_;
@@ -624,7 +691,7 @@ class DistBackend final : public Backend {
   std::vector<SegmentLog> replay_log_;
   double replay_pred_s_ = 0;  ///< Predicted replay cost of replay_log_ (model s).
   std::size_t segments_since_ckpt_ = 0;
-  std::vector<std::vector<complex_t>> ckpt_chunks_;  ///< Per-rank chunk copies.
+  std::vector<std::vector<value_type>> ckpt_chunks_;  ///< Per-rank chunk copies.
   std::vector<qubit_t> ckpt_perm_;                   ///< perm_ at checkpoint time.
   bool ckpt_valid_ = false;
 };
@@ -634,29 +701,69 @@ struct BackendEntry {
   SimulatorFactory make_sim;  // null for emulation-only backends
 };
 
+/// Per-gate fp32 runner over the float-instantiated kernel entry
+/// points (the scalar/AVX2/AVX-512 choice still goes through the
+/// runtime dispatch tables inside).
+Fp32SegmentBackend::Runner fp32_per_gate_runner(bool hpc_style, bool parallel) {
+  return [hpc_style, parallel](std::span<basic_complex_t<float>> a, qubit_t n,
+                               const circuit::Circuit& c) {
+    for (const circuit::Gate& g : c.gates()) {
+      if (hpc_style)
+        sim::apply_gate_hpc<float>(a, n, g);
+      else
+        sim::apply_gate_generic<float>(a, n, g, parallel);
+    }
+  };
+}
+
 std::map<std::string, BackendEntry>& registry() {
   static std::map<std::string, BackendEntry> reg = [] {
     std::map<std::string, BackendEntry> r;
-    const auto gate_level = [](SimulatorFactory sf) {
+    // Gate-level entries dispatch on RunOptions::precision: fp64 wraps
+    // the plain sim::Simulator; fp32 wraps the same algorithm's float
+    // instantiation behind the convert-at-segment-boundary adapter.
+    const auto gate_level = [](const char* name, SimulatorFactory sf,
+                               Fp32SegmentBackend::Runner f32) {
       return BackendEntry{
-          [sf](const RunOptions&) -> std::unique_ptr<Backend> {
+          [name, sf, f32](const RunOptions& opts) -> std::unique_ptr<Backend> {
+            if (opts.precision == Precision::kF32)
+              return std::make_unique<Fp32SegmentBackend>(name, f32);
             return std::make_unique<GateLevelBackend>(sf());
           },
           sf};
     };
-    r["hpc"] = gate_level([] { return std::make_unique<sim::HpcSimulator>(); });
-    r["qhipster-like"] =
-        gate_level([] { return std::make_unique<sim::QhipsterLikeSimulator>(); });
-    r["liquid-like"] =
-        gate_level([] { return std::make_unique<sim::LiquidLikeSimulator>(); });
+    r["hpc"] = gate_level(
+        "hpc", [] { return std::make_unique<sim::HpcSimulator>(); },
+        fp32_per_gate_runner(/*hpc_style=*/true, /*parallel=*/true));
+    r["qhipster-like"] = gate_level(
+        "qhipster-like", [] { return std::make_unique<sim::QhipsterLikeSimulator>(); },
+        fp32_per_gate_runner(/*hpc_style=*/false, /*parallel=*/true));
+    r["liquid-like"] = gate_level(
+        "liquid-like", [] { return std::make_unique<sim::LiquidLikeSimulator>(); },
+        fp32_per_gate_runner(/*hpc_style=*/false, /*parallel=*/false));
     r["fused"] = BackendEntry{
         [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          if (opts.precision == Precision::kF32)
+            return std::make_unique<Fp32SegmentBackend>(
+                "fused", [fusion = opts.fusion](std::span<basic_complex_t<float>> a,
+                                                qubit_t n, const circuit::Circuit& c) {
+                  fuse::execute_fused<float>(a, n, fuse::fuse_circuit(c, fusion));
+                });
           return std::make_unique<GateLevelBackend>(std::make_unique<fuse::FusedSimulator>(
               fuse::FusedSimulator::Options{opts.fusion}));
         },
         [] { return std::make_unique<fuse::FusedSimulator>(); }};
     r["cached"] = BackendEntry{
         [](const RunOptions& opts) -> std::unique_ptr<Backend> {
+          if (opts.precision == Precision::kF32) {
+            auto cached = std::make_shared<sched::CachedSimulator>(
+                sched::CachedSimulator::Options{opts.fusion, opts.sched});
+            return std::make_unique<Fp32SegmentBackend>(
+                "cached", [cached](std::span<basic_complex_t<float>> a, qubit_t,
+                                   const circuit::Circuit& c) {
+                  sched::execute_blocked<float>(a, cached->plan(c));
+                });
+          }
           return std::make_unique<GateLevelBackend>(std::make_unique<sched::CachedSimulator>(
               sched::CachedSimulator::Options{opts.fusion, opts.sched}));
         },
@@ -668,7 +775,9 @@ std::map<std::string, BackendEntry>& registry() {
         nullptr};
     r["dist"] = BackendEntry{
         [](const RunOptions& opts) -> std::unique_ptr<Backend> {
-          return std::make_unique<DistBackend>(opts);
+          if (opts.precision == Precision::kF32)
+            return std::make_unique<DistBackendT<float>>(opts);
+          return std::make_unique<DistBackendT<double>>(opts);
         },
         nullptr};
     return r;

@@ -46,6 +46,14 @@ struct RunOptions {
   /// Cache-blocking options for backends that sweep-schedule ("auto",
   /// "cached").
   sched::ScheduleOptions sched;
+  /// Amplitude precision gate segments execute at. kF64 (default) is
+  /// the reference. kF32 runs the float-instantiated kernels: the host
+  /// state stays fp64 and is narrowed once per gate segment (resp. held
+  /// float-resident on the dist backend's ranks, halving exchange
+  /// bytes); measurement sampling and reductions stay double either
+  /// way. Accuracy is bounded by the precision-drift test gate (fp32 vs
+  /// fp64 <= 1e-6 max amplitude error on deep QFT/random circuits).
+  Precision precision = Precision::kF64;
   /// Initial computational basis state |initial_basis> of the *program*
   /// register (lowering ancillas always start at |0>).
   index_t initial_basis = 0;

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/kernels_dispatch.hpp"
 
 namespace qc::engine {
 
@@ -21,6 +22,13 @@ Result run_attempt(const Program& p, const RunOptions& opts,
                    const std::string& backend_name) {
   const std::unique_ptr<Backend> backend = make_backend(backend_name, opts);
   obs::Span run_span("engine.run");
+  // Record the kernel dispatch decision this run executes under: the
+  // runtime-selected SIMD tier (CPUID + QC_SIMD, see kernels_dispatch)
+  // and the amplitude precision. Decoded by obs::summary_table /
+  // model_report into "isa=... fp=32/64".
+  obs::instant("engine.dispatch",
+               {{"isa", static_cast<double>(sim::kernels::active_isa())},
+                {"fp_bits", static_cast<double>(precision_bits(opts.precision))}});
 
   Program lowered;
   const Program* prog = &p;

@@ -1,6 +1,8 @@
 #include "fuse/fused_simulator.hpp"
 
 #include <stdexcept>
+#include <type_traits>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "sim/kernels.hpp"
@@ -15,12 +17,16 @@ FusedCircuit FusedSimulator::plan(const circuit::Circuit& c) const {
   return fuse_circuit(c, opts_.fusion);
 }
 
-void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) const {
-  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
-  const auto a = sv.amplitudes();
+template <typename T>
+void execute_fused(std::span<basic_complex_t<T>> a, qubit_t n, const FusedCircuit& plan) {
+  if (a.size() != dim(plan.n) || plan.n != n)
+    throw std::invalid_argument("execute_fused: amplitude count mismatch");
+  // Narrowing scratch reused across blocks (empty and untouched at
+  // T = double, where the views alias the plan).
+  std::vector<basic_complex_t<T>> payload;
   for (const FusedItem& item : plan.items) {
     if (item.kind == FusedItem::Kind::Passthrough) {
-      hpc_.apply_gate(sv, item.gate);
+      sim::apply_gate_hpc<T>(a, n, item.gate);
       continue;
     }
     const FusedOp& op = item.block;
@@ -33,12 +39,40 @@ void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) con
       // All folded gates were diagonal, so the block unitary is too:
       // apply just the plan-time-extracted diagonal in one multiply-only
       // sweep (no allocation in the hot loop).
-      sim::kernels::apply_multi_diagonal(a, sv.qubits(), op.qubits, op.diag);
+      std::span<const basic_complex_t<T>> d;
+      if constexpr (std::is_same_v<T, double>) {
+        d = {op.diag.data(), op.diag.size()};
+      } else {
+        payload.resize(op.diag.size());
+        for (std::size_t i = 0; i < op.diag.size(); ++i)
+          payload[i] = static_cast<basic_complex_t<T>>(op.diag[i]);
+        d = {payload.data(), payload.size()};
+      }
+      sim::kernels::apply_multi_diagonal<T>(a, n, op.qubits, d);
       continue;
     }
-    sim::kernels::apply_multi(a, sv.qubits(), op.qubits,
-                              {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
+    const std::size_t count = op.unitary.rows() * op.unitary.cols();
+    std::span<const basic_complex_t<T>> u;
+    if constexpr (std::is_same_v<T, double>) {
+      u = {op.unitary.data(), count};
+    } else {
+      payload.resize(count);
+      for (std::size_t i = 0; i < count; ++i)
+        payload[i] = static_cast<basic_complex_t<T>>(op.unitary.data()[i]);
+      u = {payload.data(), count};
+    }
+    sim::kernels::apply_multi<T>(a, n, op.qubits, u);
   }
+}
+
+template void execute_fused<float>(std::span<basic_complex_t<float>>, qubit_t,
+                                   const FusedCircuit&);
+template void execute_fused<double>(std::span<basic_complex_t<double>>, qubit_t,
+                                    const FusedCircuit&);
+
+void FusedSimulator::execute(sim::StateVector& sv, const FusedCircuit& plan) const {
+  if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
+  execute_fused<double>(sv.amplitudes(), sv.qubits(), plan);
 }
 
 void FusedSimulator::run(sim::StateVector& sv, const circuit::Circuit& c) const {

@@ -41,4 +41,12 @@ class FusedSimulator final : public sim::Simulator {
   Options opts_;
 };
 
+/// Executes a fused plan on a raw amplitude array of 2^n amplitudes at
+/// scalar T — the span-level executor FusedSimulator::execute wraps and
+/// the engine's fp32 path into fused execution. The plan (and its block
+/// GEMMs) stays double precision; block payloads are narrowed once per
+/// block. Instantiated for float/double.
+template <typename T>
+void execute_fused(std::span<basic_complex_t<T>> a, qubit_t n, const FusedCircuit& plan);
+
 }  // namespace qc::fuse

@@ -92,41 +92,44 @@ double asymptotic_crossover_strassen(qubit_t n) {
 
 double asymptotic_crossover_eig_coherent(qubit_t n) { return static_cast<double>(n); }
 
-double t_state_pass_seconds(qubit_t n, const MachineParams& m) {
+double t_state_pass_seconds(qubit_t n, const MachineParams& m, std::size_t amp_bytes) {
   const double size = std::ldexp(1.0, static_cast<int>(n));
-  return 32.0 * size / (m.b_mem_gbs * 1e9);
+  return 2.0 * static_cast<double>(amp_bytes) * size / (m.b_mem_gbs * 1e9);
 }
 
-double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m) {
-  return static_cast<double>(passes) * t_state_pass_seconds(n, m);
+double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m,
+                                   std::size_t amp_bytes) {
+  return static_cast<double>(passes) * t_state_pass_seconds(n, m, amp_bytes);
 }
 
 bool remap_profitable(std::size_t ops_made_local, double remap_passes) {
   return static_cast<double>(ops_made_local) - 1.0 > remap_passes;
 }
 
-double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m) {
+double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m,
+                                std::size_t amp_bytes) {
   const double chunk = std::ldexp(1.0, static_cast<int>(local_qubits));
-  return 16.0 * chunk / (m.b_net_gbs * 1e9);
+  return static_cast<double>(amp_bytes) * chunk / (m.b_net_gbs * 1e9);
 }
 
 bool global_remap_profitable(std::size_t exchanges_avoided, double remap_exchange_cost) {
   return static_cast<double>(exchanges_avoided) > remap_exchange_cost;
 }
 
-std::uint64_t staging_bytes(qubit_t n) {
-  return std::uint64_t{16} << n;  // sizeof(complex_t) per amplitude
+std::uint64_t staging_bytes(qubit_t n, std::size_t amp_bytes) {
+  return static_cast<std::uint64_t>(amp_bytes) << n;
 }
 
-double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m) {
-  const double traffic = 2.0 * static_cast<double>(staging_bytes(n));  // read + write
+double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m,
+                              std::size_t amp_bytes) {
+  const double traffic = 2.0 * static_cast<double>(staging_bytes(n, amp_bytes));  // read + write
   return static_cast<double>(transfers) * traffic / (m.b_mem_gbs * 1e9);
 }
 
 bool resident_session_profitable(std::size_t engine_ops) { return engine_ops > 1; }
 
-double t_checkpoint_seconds(qubit_t n, const MachineParams& m) {
-  return t_host_staging_seconds(n, 1, m);
+double t_checkpoint_seconds(qubit_t n, const MachineParams& m, std::size_t amp_bytes) {
+  return t_host_staging_seconds(n, 1, m, amp_bytes);
 }
 
 bool checkpoint_due(double replay_seconds, qubit_t n, const MachineParams& m,

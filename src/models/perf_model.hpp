@@ -103,13 +103,15 @@ double asymptotic_crossover_eig_coherent(qubit_t n);
 // resolves with the helpers below.
 
 /// Seconds for one full read+write memory pass over a 2^n state vector
-/// (32 bytes of DRAM traffic per amplitude) — the unit cost the
-/// cache-blocked scheduler trades in.
-double t_state_pass_seconds(qubit_t n, const MachineParams& m);
+/// (2 * amp_bytes of DRAM traffic per amplitude; 32 at fp64, 16 at
+/// fp32) — the unit cost the cache-blocked scheduler trades in.
+double t_state_pass_seconds(qubit_t n, const MachineParams& m,
+                            std::size_t amp_bytes = sizeof(complex_t));
 
 /// Predicted seconds for a blocked execution: `passes` full-vector
 /// passes (sweeps + remaps + un-blocked ops), bandwidth-bound.
-double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m);
+double t_blocked_execution_seconds(qubit_t n, std::size_t passes, const MachineParams& m,
+                                   std::size_t amp_bytes = sizeof(complex_t));
 
 /// Remap decision rule: making `ops_made_local` upcoming ops chunk-local
 /// saves them each a full pass (they then share ~one sweep pass), at the
@@ -131,7 +133,10 @@ bool remap_profitable(std::size_t ops_made_local, double remap_passes = 2.0);
 
 /// Seconds for one pairwise exchange of a rank's full 2^local_qubits
 /// chunk (the 16N/B_net term of Eq. 6, N = the chunk's amplitudes).
-double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m);
+/// amp_bytes generalizes the paper's 16-byte fp64 amplitude: an fp32
+/// state moves 8 bytes per amplitude, halving the exchange term.
+double t_chunk_exchange_seconds(qubit_t local_qubits, const MachineParams& m,
+                                std::size_t amp_bytes = sizeof(complex_t));
 
 /// Global-remap decision rule, mirroring remap_profitable at cluster
 /// level: an exchange pass costs ~`remap_exchange_cost` chunk exchanges
@@ -153,14 +158,16 @@ bool global_remap_profitable(std::size_t exchanges_avoided,
 // difference, and DistBackend reports the actual bytes moved in the
 // per-op engine trace so the win is measurable, not anecdotal.
 
-/// Bytes one host<->ranks staging of a 2^n state moves (16 bytes per
-/// amplitude: each complex_t copied exactly once).
-std::uint64_t staging_bytes(qubit_t n);
+/// Bytes one host<->ranks staging of a 2^n state moves (amp_bytes per
+/// amplitude: each stored complex copied exactly once; 16 at fp64, 8
+/// at fp32).
+std::uint64_t staging_bytes(qubit_t n, std::size_t amp_bytes = sizeof(complex_t));
 
 /// Seconds for `transfers` stagings of a 2^n state. The copies are
 /// host-local, so they are charged to memory bandwidth (read + write:
-/// 32 bytes of traffic per amplitude per staging), not the network.
-double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m);
+/// 2 * amp_bytes of traffic per amplitude per staging), not the network.
+double t_host_staging_seconds(qubit_t n, std::size_t transfers, const MachineParams& m,
+                              std::size_t amp_bytes = sizeof(complex_t));
 
 /// Resident-session decision rule: a resident distributed state pays 2
 /// stagings per Engine::run instead of 2 per engine-routed op —
@@ -181,7 +188,8 @@ bool resident_session_profitable(std::size_t engine_ops);
 
 /// Seconds one checkpoint costs: a host staging of the full 2^n state
 /// (every rank's chunk copied once through host memory).
-double t_checkpoint_seconds(qubit_t n, const MachineParams& m);
+double t_checkpoint_seconds(qubit_t n, const MachineParams& m,
+                            std::size_t amp_bytes = sizeof(complex_t));
 
 /// Auto checkpoint decision: true when `replay_seconds` — the predicted
 /// cost of re-running everything since the last checkpoint — exceeds

@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "sim/kernels_dispatch.hpp"
+
 namespace qc::obs {
 
 namespace {
@@ -36,6 +38,18 @@ std::string num(double v) {
 }
 
 }  // namespace
+
+DispatchInfo dispatch_info(const TraceData& data) {
+  DispatchInfo info;
+  for (const SpanEvent& s : data.spans) {
+    if (s.name != "engine.dispatch") continue;
+    info.found = true;
+    info.isa = sim::kernels::isa_name(
+        static_cast<sim::kernels::SimdIsa>(static_cast<int>(s.arg("isa", 0))));
+    info.fp_bits = static_cast<int>(s.arg("fp_bits", 64));
+  }
+  return info;
+}
 
 std::string chrome_trace_json(const TraceData& data) {
   std::string out = "{\"traceEvents\":[\n";
@@ -122,7 +136,11 @@ double load_imbalance(const TraceData& data) {
 }
 
 std::string metrics_json(const TraceData& data) {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n";
+  if (const DispatchInfo di = dispatch_info(data); di.found)
+    out += "  \"dispatch\": {\"isa\": \"" + json_escape(di.isa) +
+           "\", \"fp_bits\": " + std::to_string(di.fp_bits) + "},\n";
+  out += "  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : data.counters) {
     out += first ? "\n" : ",\n";
@@ -157,6 +175,11 @@ std::string metrics_json(const TraceData& data) {
 
 Table summary_table(const TraceData& data) {
   Table table({"span", "count", "total [s]", "mean [s]", "pred [s]", "drift", "MB"});
+  // Lead with the dispatch decision the run executed under, so every
+  // printed summary says which kernels and precision made the numbers.
+  if (const DispatchInfo di = dispatch_info(data); di.found)
+    table.add_row({"[dispatch isa=" + di.isa + " fp" + std::to_string(di.fp_bits) + "]", "-",
+                   "-", "-", "-", "-", "-"});
   for (const SpanStats& st : span_stats(data)) {
     table.add_row({st.name, std::to_string(st.count), sci(st.total_s),
                    sci(st.total_s / static_cast<double>(st.count)),
@@ -188,6 +211,14 @@ Table model_report_table(const std::vector<ModelRow>& rows) {
     table.add_row({r.name, std::to_string(r.count), sci(r.measured_s), sci(r.predicted_s),
                    r.predicted_s > 0 ? fixed(r.drift(), 2) + "x" : "-",
                    fixed(static_cast<double>(r.bytes) / 1e6, 1)});
+  return table;
+}
+
+Table model_report_table(const std::vector<ModelRow>& rows, const TraceData& data) {
+  Table table = model_report_table(rows);
+  if (const DispatchInfo di = dispatch_info(data); di.found)
+    table.add_row({"[dispatch isa=" + di.isa + " fp" + std::to_string(di.fp_bits) + "]", "-",
+                   "-", "-", "-", "-"});
   return table;
 }
 

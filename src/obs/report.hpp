@@ -49,6 +49,20 @@ struct LaneStats {
   double park_s = 0;     ///< Time parked between jobs.
 };
 
+/// The kernel dispatch decision an engine run recorded (the
+/// "engine.dispatch" instant: runtime-selected SIMD tier + amplitude
+/// precision). `found` is false for traces without one (non-engine
+/// tracing); the last recorded decision wins when a trace holds several
+/// runs.
+struct DispatchInfo {
+  bool found = false;
+  std::string isa;  ///< "scalar" / "avx2" / "avx512".
+  int fp_bits = 64;
+};
+
+/// Decodes the last "engine.dispatch" instant of the trace.
+[[nodiscard]] DispatchInfo dispatch_info(const TraceData& data);
+
 /// Span aggregates by name, alphabetical.
 [[nodiscard]] std::vector<SpanStats> span_stats(const TraceData& data);
 
@@ -88,7 +102,11 @@ struct ModelRow {
 /// pred_s span) — asserted by the engine test suite.
 [[nodiscard]] std::vector<ModelRow> model_report(const TraceData& data);
 
-/// The model report as a printable table.
+/// The model report as a printable table. The overload taking the
+/// trace appends the run's dispatch decision (isa + precision) as a
+/// trailing row, so a drift report says which kernels produced it.
 [[nodiscard]] Table model_report_table(const std::vector<ModelRow>& rows);
+[[nodiscard]] Table model_report_table(const std::vector<ModelRow>& rows,
+                                       const TraceData& data);
 
 }  // namespace qc::obs

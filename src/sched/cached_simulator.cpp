@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "common/parallel.hpp"
 #include "models/perf_model.hpp"
@@ -18,52 +19,97 @@ namespace kernels = sim::kernels;
 /// Serial single-gate dispatch on one cache-resident chunk — the same
 /// fast-path selection as HpcSimulator::apply_gate, minus the OpenMP
 /// (the caller parallelizes across chunks).
-void apply_gate_serial(std::span<complex_t> chunk, qubit_t width, const circuit::Gate& g) {
+template <typename T>
+void apply_gate_serial(std::span<basic_complex_t<T>> chunk, qubit_t width,
+                       const circuit::Gate& g) {
+  using C = basic_complex_t<T>;
   const index_t cmask = sim::control_mask(g);
   if (g.kind == circuit::GateKind::Swap) {
-    kernels::apply_swap_serial(chunk, width, g.targets[0], g.targets[1], cmask);
+    kernels::apply_swap_serial<T>(chunk, width, g.targets[0], g.targets[1], cmask);
     return;
   }
   const qubit_t t = g.targets[0];
   if (g.kind == circuit::GateKind::X) {
-    kernels::apply_x_serial(chunk, width, t, cmask);
+    kernels::apply_x_serial<T>(chunk, width, t, cmask);
     return;
   }
   if (g.diagonal()) {
     const auto [d0, d1] = sim::diagonal_entries(g);
-    kernels::apply_diagonal_serial(chunk, width, t, d0, d1, cmask);
+    kernels::apply_diagonal_serial<T>(chunk, width, t, static_cast<C>(d0), static_cast<C>(d1),
+                                      cmask);
     return;
   }
-  kernels::apply_folded_serial(chunk, width, t, cmask, sim::target_block(g));
+  kernels::apply_folded_serial<T>(chunk, width, t, cmask,
+                                  kernels::u2_cast<T>(sim::target_block(g)));
 }
 
-void apply_chunk_op(std::span<complex_t> chunk, qubit_t width, const ChunkOp& op) {
-  switch (op.kind) {
+/// A plan op with its dense/diagonal payload narrowed to the execution
+/// scalar ONCE, outside the chunk loop (the plan itself stays double
+/// precision). For T = double the views alias the plan storage.
+template <typename T>
+struct TypedOp {
+  const ChunkOp* op;
+  std::vector<basic_complex_t<T>> unitary, diag;  // storage only when T != double
+
+  explicit TypedOp(const ChunkOp& o) : op(&o) {
+    if constexpr (!std::is_same_v<T, double>) {
+      if (o.kind == ChunkOp::Kind::Dense) {
+        const std::size_t count = o.unitary.rows() * o.unitary.cols();
+        unitary.resize(count);
+        for (std::size_t i = 0; i < count; ++i)
+          unitary[i] = static_cast<basic_complex_t<T>>(o.unitary.data()[i]);
+      } else if (o.kind == ChunkOp::Kind::Diagonal) {
+        diag.resize(o.diag.size());
+        for (std::size_t i = 0; i < o.diag.size(); ++i)
+          diag[i] = static_cast<basic_complex_t<T>>(o.diag[i]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::span<const basic_complex_t<T>> unitary_view() const {
+    if constexpr (std::is_same_v<T, double>) {
+      return {op->unitary.data(), op->unitary.rows() * op->unitary.cols()};
+    } else {
+      return {unitary.data(), unitary.size()};
+    }
+  }
+  [[nodiscard]] std::span<const basic_complex_t<T>> diag_view() const {
+    if constexpr (std::is_same_v<T, double>) {
+      return {op->diag.data(), op->diag.size()};
+    } else {
+      return {diag.data(), diag.size()};
+    }
+  }
+};
+
+template <typename T>
+void apply_chunk_op(std::span<basic_complex_t<T>> chunk, qubit_t width, const TypedOp<T>& top) {
+  switch (top.op->kind) {
     case ChunkOp::Kind::Dense:
-      kernels::apply_multi_serial(chunk, width, op.qubits,
-                                  {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
+      kernels::apply_multi_serial<T>(chunk, width, top.op->qubits, top.unitary_view());
       return;
     case ChunkOp::Kind::Diagonal:
-      kernels::apply_multi_diagonal_serial(chunk, width, op.qubits, op.diag);
+      kernels::apply_multi_diagonal_serial<T>(chunk, width, top.op->qubits, top.diag_view());
       return;
     case ChunkOp::Kind::Gate:
-      apply_gate_serial(chunk, width, op.gate);
+      apply_gate_serial<T>(chunk, width, top.op->gate);
       return;
   }
 }
 
 /// One DRAM pass for the whole sweep: every op applies to a chunk while
 /// it is cache resident; parallelism is across chunks.
-void run_sweep(std::span<complex_t> a, qubit_t n, qubit_t chunk_width,
-               std::span<const ChunkOp> ops) {
+template <typename T>
+void run_sweep(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t chunk_width,
+               std::span<const TypedOp<T>> ops) {
   const qubit_t width = std::min(chunk_width, n);
   const index_t chunk_size = dim(width);
   const auto chunks = static_cast<std::int64_t>(dim(n) >> width);
 #pragma omp parallel for schedule(static) if (worth_parallelizing(dim(n)) && chunks > 1)
   for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::span<complex_t> chunk =
+    const std::span<basic_complex_t<T>> chunk =
         a.subspan(static_cast<index_t>(c) * chunk_size, chunk_size);
-    for (const ChunkOp& op : ops) apply_chunk_op(chunk, width, op);
+    for (const TypedOp<T>& op : ops) apply_chunk_op<T>(chunk, width, op);
   }
 }
 
@@ -82,7 +128,8 @@ BlockedPlan CachedSimulator::plan(const circuit::Circuit& c) const {
   return schedule(fuse::fuse_circuit(c, fusion), opts_.sched);
 }
 
-void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
+template <typename T>
+void execute_blocked(std::span<basic_complex_t<T>> a, const BlockedPlan& plan) {
   if (a.size() != dim(plan.n))
     throw std::invalid_argument("execute_blocked: amplitude count mismatch");
 #if QC_ENABLE_CHECKS
@@ -94,9 +141,10 @@ void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
   // Each plan item is priced at (multiples of) one full memory pass —
   // t_state_pass_seconds is the prediction every span carries, so the
   // model report can show how far this machine is from the Eq. 6
-  // bandwidth term the scheduler traded in.
+  // bandwidth term the scheduler traded in. The pass cost follows the
+  // execution scalar: an fp32 pass moves half the bytes.
   const double pass_pred =
-      obs::enabled() ? models::t_state_pass_seconds(plan.n, {}) : 0;
+      obs::enabled() ? models::t_state_pass_seconds(plan.n, {}, sizeof(basic_complex_t<T>)) : 0;
   for (const PlanItem& item : plan.items) {
     switch (item.kind) {
       case PlanItem::Kind::Sweep: {
@@ -105,7 +153,10 @@ void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
           span.arg("ops", static_cast<double>(item.ops.size()));
           span.arg("pred_s", pass_pred);
         }
-        run_sweep(a, plan.n, plan.chunk_width, item.ops);
+        std::vector<TypedOp<T>> typed;
+        typed.reserve(item.ops.size());
+        for (const ChunkOp& op : item.ops) typed.emplace_back(op);
+        run_sweep<T>(a, plan.n, plan.chunk_width, {typed.data(), typed.size()});
         break;
       }
       case PlanItem::Kind::Remap: {
@@ -114,20 +165,19 @@ void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
           span.arg("swaps", static_cast<double>(item.swaps.size()));
           span.arg("pred_s", pass_pred);
         }
-        sim::kernels::apply_qubit_swaps(a, plan.n, item.swaps);
+        sim::kernels::apply_qubit_swaps<T>(a, plan.n, item.swaps);
         break;
       }
       case PlanItem::Kind::Global: {
         obs::Span span("sched.global");
         if (obs::enabled()) span.arg("pred_s", pass_pred);
-        const ChunkOp& op = item.global;
-        if (op.kind == ChunkOp::Kind::Dense) {
-          sim::kernels::apply_multi(a, plan.n, op.qubits,
-                                    {op.unitary.data(), op.unitary.rows() * op.unitary.cols()});
-        } else if (op.kind == ChunkOp::Kind::Diagonal) {
-          sim::kernels::apply_multi_diagonal(a, plan.n, op.qubits, op.diag);
+        const TypedOp<T> top(item.global);
+        if (top.op->kind == ChunkOp::Kind::Dense) {
+          sim::kernels::apply_multi<T>(a, plan.n, top.op->qubits, top.unitary_view());
+        } else if (top.op->kind == ChunkOp::Kind::Diagonal) {
+          sim::kernels::apply_multi_diagonal<T>(a, plan.n, top.op->qubits, top.diag_view());
         } else {
-          sim::apply_gate_hpc(a, plan.n, op.gate);
+          sim::apply_gate_hpc<T>(a, plan.n, top.op->gate);
         }
         break;
       }
@@ -135,9 +185,12 @@ void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan) {
   }
 }
 
+template void execute_blocked<float>(std::span<basic_complex_t<float>>, const BlockedPlan&);
+template void execute_blocked<double>(std::span<basic_complex_t<double>>, const BlockedPlan&);
+
 void CachedSimulator::execute(sim::StateVector& sv, const BlockedPlan& plan) const {
   if (plan.n != sv.qubits()) throw std::invalid_argument("execute: qubit count mismatch");
-  execute_blocked(sv.amplitudes(), plan);
+  execute_blocked<double>(sv.amplitudes(), plan);
 }
 
 void CachedSimulator::run(sim::StateVector& sv, const circuit::Circuit& c) const {

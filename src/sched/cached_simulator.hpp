@@ -30,8 +30,11 @@ namespace qc::sched {
 /// Executes a blocked plan on a raw amplitude array of 2^plan.n
 /// amplitudes. This is the executor CachedSimulator::execute wraps and
 /// the rank-local entry point of the distributed executor (each rank
-/// runs its chunk's plan on dist_sv's local window).
-void execute_blocked(std::span<complex_t> a, const BlockedPlan& plan);
+/// runs its chunk's plan on dist_sv's local window). The plan itself
+/// stays double precision; executing at T = float narrows each op's
+/// payload once, outside the chunk loop. Instantiated for float/double.
+template <typename T>
+void execute_blocked(std::span<basic_complex_t<T>> a, const BlockedPlan& plan);
 
 class CachedSimulator final : public sim::Simulator {
  public:

@@ -319,7 +319,8 @@ DistPlan dist_schedule(const Circuit& c, qubit_t local_qubits,
   return plan;
 }
 
-void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
+template <typename T>
+void run_dist_plan(sim::BasicDistStateVector<T>& dsv, const DistPlan& plan,
                    sim::CommPolicy policy) {
   if (dsv.qubits() != plan.n || dsv.local_qubits() != plan.local_qubits)
     throw std::invalid_argument("run_dist_plan: qubit split mismatch");
@@ -332,7 +333,7 @@ void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
         obs::Span span("dist.local");
         if (obs::enabled())
           span.arg("ops", static_cast<double>(item.local.source_ops));
-        execute_blocked(dsv.local(), item.local);
+        execute_blocked<T>(dsv.local(), item.local);
         break;
       }
       case DistPlanItem::Kind::Exchange:
@@ -347,6 +348,11 @@ void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
     }
   }
 }
+
+template void run_dist_plan<float>(sim::BasicDistStateVector<float>&, const DistPlan&,
+                                   sim::CommPolicy);
+template void run_dist_plan<double>(sim::BasicDistStateVector<double>&, const DistPlan&,
+                                    sim::CommPolicy);
 
 double predicted_seconds(const DistPlan& plan, const models::MachineParams& m) {
   const qubit_t nl = plan.local_qubits;

@@ -117,8 +117,11 @@ struct DistPlan {
 /// Collective: executes a plan on a distributed state (dsv's qubit
 /// split must match the plan's). Local items run execute_blocked on the
 /// rank's chunk; Exchange items run the one-pass chunk permutation;
-/// Gate items fall back to per-gate policy handling.
-void run_dist_plan(sim::DistStateVector& dsv, const DistPlan& plan,
+/// Gate items fall back to per-gate policy handling. The plan is
+/// precision-agnostic — the same DistPlan runs on an fp32 or fp64
+/// state. Instantiated for float/double.
+template <typename T>
+void run_dist_plan(sim::BasicDistStateVector<T>& dsv, const DistPlan& plan,
                    sim::CommPolicy policy = sim::CommPolicy::Specialized);
 
 /// Predicted execution cost of a plan in model seconds: Local items

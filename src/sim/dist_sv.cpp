@@ -16,7 +16,8 @@ namespace qc::sim {
 using circuit::Gate;
 using circuit::GateKind;
 
-DistStateVector::DistStateVector(cluster::Comm& comm, qubit_t n_qubits)
+template <typename T>
+BasicDistStateVector<T>::BasicDistStateVector(cluster::Comm& comm, qubit_t n_qubits)
     : comm_(&comm), n_(n_qubits) {
   const int p = comm.size();
   if (!bits::is_pow2(static_cast<index_t>(p)))
@@ -25,73 +26,91 @@ DistStateVector::DistStateVector(cluster::Comm& comm, qubit_t n_qubits)
   if (k > n_) throw std::invalid_argument("DistStateVector: more ranks than amplitudes");
   nl_ = n_ - k;
   cluster::fault_point("dist.alloc", comm.rank());
-  local_.assign(dim(nl_), complex_t{});
-  scratch_.assign(dim(nl_), complex_t{});
-  if (comm.rank() == 0) local_[0] = 1.0;
+  local_.assign(dim(nl_), value_type{});
+  scratch_.assign(dim(nl_), value_type{});
+  if (comm.rank() == 0) local_[0] = value_type{T{1}};
 }
 
-void DistStateVector::set_basis(index_t i) {
+template <typename T>
+void BasicDistStateVector<T>::set_basis(index_t i) {
   if (i >= dim(n_)) throw std::invalid_argument("set_basis: index out of range");
-  std::fill(local_.begin(), local_.end(), complex_t{});
+  std::fill(local_.begin(), local_.end(), value_type{});
   const index_t chunk = dim(nl_);
-  if (i / chunk == static_cast<index_t>(comm_->rank())) local_[i % chunk] = 1.0;
+  if (i / chunk == static_cast<index_t>(comm_->rank())) local_[i % chunk] = value_type{T{1}};
 }
 
-void DistStateVector::randomize(std::uint64_t seed) {
+template <typename T>
+void BasicDistStateVector<T>::randomize(std::uint64_t seed) {
   const index_t chunk = dim(nl_);
-  fill_random_slabs({local_.data(), local_.size()},
-                    static_cast<index_t>(comm_->rank()) * chunk, seed);
+  fill_random_slabs<T>({local_.data(), local_.size()},
+                       static_cast<index_t>(comm_->rank()) * chunk, seed);
   const double total = norm_sq();
-  const double f = 1.0 / std::sqrt(total);
+  const T f = static_cast<T>(1.0 / std::sqrt(total));
 #pragma omp parallel for if (worth_parallelizing(chunk))
   for (index_t i = 0; i < chunk; ++i) local_[i] *= f;
 }
 
-double DistStateVector::norm_sq() const {
+template <typename T>
+double BasicDistStateVector<T>::norm_sq() const {
   double sum = 0;
 #pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(local_.size()))
-  for (index_t i = 0; i < local_.size(); ++i) sum += std::norm(local_[i]);
+  for (index_t i = 0; i < local_.size(); ++i) {
+    const double re = local_[i].real(), im = local_[i].imag();
+    sum += re * re + im * im;
+  }
   return comm_->allreduce_sum(sum);
 }
 
-double DistStateVector::max_abs_diff(const DistStateVector& other) const {
+template <typename T>
+double BasicDistStateVector<T>::max_abs_diff(const BasicDistStateVector& other) const {
   if (other.n_ != n_) throw std::invalid_argument("max_abs_diff: qubit count mismatch");
   double m = 0;
 #pragma omp parallel for reduction(max : m) if (worth_parallelizing(local_.size()))
   for (index_t i = 0; i < local_.size(); ++i)
-    m = std::max(m, std::abs(local_[i] - other.local_[i]));
+    m = std::max(m, std::abs(static_cast<complex_t>(local_[i]) -
+                             static_cast<complex_t>(other.local_[i])));
   return comm_->allreduce_max(m);
 }
 
-double DistStateVector::probability_of_one(qubit_t q) const {
+template <typename T>
+double BasicDistStateVector<T>::probability_of_one(qubit_t q) const {
   double sum = 0;
   if (q < nl_) {
 #pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(local_.size()))
     for (index_t i = 0; i < local_.size(); ++i)
-      if (bits::test(i, q)) sum += std::norm(local_[i]);
+      if (bits::test(i, q)) {
+        const double re = local_[i].real(), im = local_[i].imag();
+        sum += re * re + im * im;
+      }
   } else if (bits::test(static_cast<index_t>(comm_->rank()), q - nl_)) {
 #pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(local_.size()))
-    for (index_t i = 0; i < local_.size(); ++i) sum += std::norm(local_[i]);
+    for (index_t i = 0; i < local_.size(); ++i) {
+      const double re = local_[i].real(), im = local_[i].imag();
+      sum += re * re + im * im;
+    }
   }
   return comm_->allreduce_sum(sum);
 }
 
-void DistStateVector::exchange_and_combine(qubit_t rank_bit, const kernels::U2& u,
-                                           index_t local_cmask, index_t) {
+template <typename T>
+void BasicDistStateVector<T>::exchange_and_combine(qubit_t rank_bit, const kernels::U2T<T>& u,
+                                                   index_t local_cmask, index_t) {
   // The per-gate pairwise chunk exchange of Eq. 6 — the span carries the
   // bytes it moved plus the model's predicted time, so the model-drift
-  // report can compare Eq. 6 against this machine rank by rank.
+  // report can compare Eq. 6 against this machine rank by rank. Both the
+  // wire bytes and the prediction scale with sizeof(value_type): an fp32
+  // chunk is half the fp64 traffic.
   obs::Span span("dist.exchange");
   if (obs::enabled()) {
-    span.arg("bytes", static_cast<double>(local_.size() * sizeof(complex_t)));
-    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
+    span.arg("bytes", static_cast<double>(local_.size() * sizeof(value_type)));
+    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}, sizeof(value_type)));
   }
   cluster::fault_point("dist.exchange", comm_->rank());
   const int partner = comm_->rank() ^ static_cast<int>(bits::bit(rank_bit));
   const int my_bit = (comm_->rank() >> rank_bit) & 1;
-  comm_->sendrecv<complex_t>(partner, {local_.data(), local_.size()},
-                             {scratch_.data(), scratch_.size()});
-  bytes_comm_ += local_.size() * sizeof(complex_t);
+  comm_->template sendrecv<value_type>(partner, {local_.data(), local_.size()},
+                                       {scratch_.data(), scratch_.size()});
+  bytes_comm_ += local_.size() * sizeof(value_type);
 
   const auto pos = kernels::sorted_bit_positions(local_cmask, {});
   const kernels::BitExpander expand{pos};
@@ -99,15 +118,16 @@ void DistStateVector::exchange_and_combine(qubit_t rank_bit, const kernels::U2& 
 #pragma omp parallel for schedule(static) if (worth_parallelizing(count))
   for (index_t j = 0; j < count; ++j) {
     const index_t i = expand(j) | local_cmask;
-    const complex_t own = local_[i];
-    const complex_t other = scratch_[i];
-    const complex_t x0 = my_bit ? other : own;
-    const complex_t x1 = my_bit ? own : other;
+    const value_type own = local_[i];
+    const value_type other = scratch_[i];
+    const value_type x0 = my_bit ? other : own;
+    const value_type x1 = my_bit ? own : other;
     local_[i] = my_bit ? (u.m10 * x0 + u.m11 * x1) : (u.m00 * x0 + u.m01 * x1);
   }
 }
 
-void DistStateVector::apply_gate(const Gate& g, CommPolicy policy) {
+template <typename T>
+void BasicDistStateVector<T>::apply_gate(const Gate& g, CommPolicy policy) {
   // SWAP lowers to three CNOTs; each is handled by the cases below.
   if (g.kind == GateKind::Swap) {
     const qubit_t qa = g.targets[0], qb = g.targets[1];
@@ -142,18 +162,21 @@ void DistStateVector::apply_gate(const Gate& g, CommPolicy policy) {
       if (c < nl_) local_gate.controls.push_back(c);
     if (policy == CommPolicy::Specialized) {
       // Apply through the specialized kernels on the local window.
-      const auto a = std::span<complex_t>(local_.data(), local_.size());
+      const auto a = std::span<value_type>(local_.data(), local_.size());
       if (local_gate.kind == GateKind::X) {
-        kernels::apply_x(a, nl_, t, local_cmask);
+        kernels::apply_x<T>(a, nl_, t, local_cmask);
       } else if (local_gate.diagonal()) {
         const auto [d0, d1] = diagonal_entries(local_gate);
-        kernels::apply_diagonal(a, nl_, t, d0, d1, local_cmask);
+        kernels::apply_diagonal<T>(a, nl_, t, static_cast<value_type>(d0),
+                                   static_cast<value_type>(d1), local_cmask);
       } else {
-        kernels::apply_folded(a, nl_, t, local_cmask, target_block(local_gate));
+        kernels::apply_folded<T>(a, nl_, t, local_cmask,
+                                 kernels::u2_cast<T>(target_block(local_gate)));
       }
     } else {
-      kernels::apply_generic_masked({local_.data(), local_.size()}, nl_, t, local_cmask,
-                                    target_block(local_gate), /*parallel=*/true);
+      kernels::apply_generic_masked<T>({local_.data(), local_.size()}, nl_, t, local_cmask,
+                                       kernels::u2_cast<T>(target_block(local_gate)),
+                                       /*parallel=*/true);
     }
     return;
   }
@@ -164,9 +187,9 @@ void DistStateVector::apply_gate(const Gate& g, CommPolicy policy) {
     // No communication: our whole chunk shares the target bit value.
     if (!globals_satisfied) return;
     const auto [d0, d1] = diagonal_entries(g);
-    const complex_t factor =
-        bits::test(static_cast<index_t>(comm_->rank()), rank_bit) ? d1 : d0;
-    if (factor == complex_t{1.0}) return;
+    const value_type factor = static_cast<value_type>(
+        bits::test(static_cast<index_t>(comm_->rank()), rank_bit) ? d1 : d0);
+    if (factor == value_type{T{1}}) return;
     const auto pos = kernels::sorted_bit_positions(local_cmask, {});
     const kernels::BitExpander expand{pos};
     const index_t count = dim(nl_) >> pos.size();
@@ -183,18 +206,21 @@ void DistStateVector::apply_gate(const Gate& g, CommPolicy policy) {
     // controls; fold the control test into the 2x2 by expanding... the
     // generic simulator still exchanges the full chunk, then applies the
     // masked combine.
-    exchange_and_combine(rank_bit, target_block(g), local_cmask, 0);
+    exchange_and_combine(rank_bit, kernels::u2_cast<T>(target_block(g)), local_cmask, 0);
     return;
   }
-  exchange_and_combine(rank_bit, target_block(g), local_cmask, 0);
+  exchange_and_combine(rank_bit, kernels::u2_cast<T>(target_block(g)), local_cmask, 0);
 }
 
-void DistStateVector::run(const circuit::Circuit& c, CommPolicy policy) {
+template <typename T>
+void BasicDistStateVector<T>::run(const circuit::Circuit& c, CommPolicy policy) {
   if (c.qubits() != n_) throw std::invalid_argument("run: qubit count mismatch");
   for (const Gate& g : c.gates()) apply_gate(g, policy);
 }
 
-void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> pairs) {
+template <typename T>
+void BasicDistStateVector<T>::apply_qubit_swaps(
+    std::span<const std::array<qubit_t, 2>> pairs) {
   // One exchange pass (the scheduler's global<->local remap unit): the
   // span's prediction is the cost the remap decision was priced at — a
   // chunk exchange when ranks communicate, a local memory pass when the
@@ -224,10 +250,10 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
     }
   }
   // Disjoint transpositions commute, so the local part can run first.
-  if (!local_pairs.empty()) kernels::apply_qubit_swaps(local(), nl_, local_pairs);
+  if (!local_pairs.empty()) kernels::apply_qubit_swaps<T>(local(), nl_, local_pairs);
   if (cross.empty() && global_pairs.empty()) {
     if (obs::enabled() && !local_pairs.empty())
-      span.arg("pred_s", models::t_state_pass_seconds(nl_, {}));
+      span.arg("pred_s", models::t_state_pass_seconds(nl_, {}, sizeof(value_type)));
     return;
   }
 
@@ -269,7 +295,7 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
   // Gather sub-block `key` (elements whose exchanged local bits equal
   // key, ordered by the remaining bits) into scratch slot `key`.
   for (index_t key = 0; key < blocks; ++key) {
-    complex_t* out = scratch_.data() + key * sub;
+    value_type* out = scratch_.data() + key * sub;
     const index_t base = deposit(key);
 #pragma omp parallel for schedule(static) if (worth_parallelizing(sub))
     for (index_t j = 0; j < sub; ++j) out[j] = local_[expand(j) | base];
@@ -281,30 +307,31 @@ void DistStateVector::apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> 
   for (index_t key = 0; key < blocks; ++key) {
     const int dst = partner(key);
     if (dst == rank) continue;
-    comm_->send<complex_t>(dst, {scratch_.data() + key * sub, sub});
-    bytes_comm_ += sub * sizeof(complex_t);
+    comm_->template send<value_type>(dst, {scratch_.data() + key * sub, sub});
+    bytes_comm_ += sub * sizeof(value_type);
   }
   for (index_t key = 0; key < blocks; ++key) {
     const int src = partner(key);
     if (src == rank) continue;
-    comm_->recv<complex_t>(src, {scratch_.data() + key * sub, sub});
+    comm_->template recv<value_type>(src, {scratch_.data() + key * sub, sub});
   }
   // Scatter: incoming slot `key` lands where the exchanged local bits
   // equal key (the self slot is the identity and scatters back as-is).
   for (index_t key = 0; key < blocks; ++key) {
-    const complex_t* in = scratch_.data() + key * sub;
+    const value_type* in = scratch_.data() + key * sub;
     const index_t base = deposit(key);
 #pragma omp parallel for schedule(static) if (worth_parallelizing(sub))
     for (index_t j = 0; j < sub; ++j) local_[expand(j) | base] = in[j];
   }
   if (obs::enabled()) {
     span.arg("bytes", static_cast<double>(bytes_comm_ - bytes_before));
-    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}));
+    span.arg("pred_s", models::t_chunk_exchange_seconds(nl_, {}, sizeof(value_type)));
   }
 }
 
-std::vector<double> DistStateVector::register_distribution(qubit_t offset,
-                                                           qubit_t width) const {
+template <typename T>
+std::vector<double> BasicDistStateVector<T>::register_distribution(qubit_t offset,
+                                                                   qubit_t width) const {
   if (offset + width > n_)
     throw std::invalid_argument("register_distribution: bad register");
   std::vector<qubit_t> qubits(width);
@@ -312,7 +339,8 @@ std::vector<double> DistStateVector::register_distribution(qubit_t offset,
   return register_distribution(std::span<const qubit_t>(qubits));
 }
 
-std::vector<double> DistStateVector::register_distribution(
+template <typename T>
+std::vector<double> BasicDistStateVector<T>::register_distribution(
     std::span<const qubit_t> qubits) const {
   const auto width = static_cast<qubit_t>(qubits.size());
   index_t seen = 0;
@@ -339,17 +367,19 @@ std::vector<double> DistStateVector::register_distribution(
     index_t outcome = rank_part;
     for (const auto& [phys, bit] : local_bits)
       if (bits::test(i, phys)) outcome = bits::set(outcome, bit);
-    dist[outcome] += std::norm(local_[i]);
+    const double re = local_[i].real(), im = local_[i].imag();
+    dist[outcome] += re * re + im * im;
   }
   std::vector<double> all(dist.size() * static_cast<std::size_t>(comm_->size()));
-  comm_->allgather<double>(dist, all);
+  comm_->template allgather<double>(dist, all);
   std::fill(dist.begin(), dist.end(), 0.0);
   for (std::size_t r = 0; r < static_cast<std::size_t>(comm_->size()); ++r)
     for (std::size_t v = 0; v < dist.size(); ++v) dist[v] += all[r * dist.size() + v];
   return dist;
 }
 
-index_t DistStateVector::sample(Rng& rng) const {
+template <typename T>
+index_t BasicDistStateVector<T>::sample(Rng& rng) const {
   // Two-level inverse CDF: pick the owning rank from the rank totals,
   // then the outcome inside that rank's chunk via the shared sampler
   // (which never returns a zero-probability outcome). Every rank draws
@@ -364,11 +394,11 @@ index_t DistStateVector::sample(Rng& rng) const {
   // one draw ahead of others, silently desynchronizing every
   // subsequent shared decision.
   const double unit_draw = rng.uniform();
-  const SampleCdf local_cdf = SampleCdf::from_amplitudes(local());
+  const SampleCdf local_cdf = SampleCdf::from_amplitudes<T>(local());
   const double my_total = local_cdf.total();
   const int p = comm_->size();
   std::vector<double> totals(static_cast<std::size_t>(p));
-  comm_->allgather<double>(std::span<const double>(&my_total, 1), totals);
+  comm_->template allgather<double>(std::span<const double>(&my_total, 1), totals);
   double grand = 0;
   for (const double t : totals) grand += t;
   if (grand <= 0) throw std::runtime_error("sample: distribution has no support");
@@ -399,16 +429,17 @@ index_t DistStateVector::sample(Rng& rng) const {
   index_t outcome = 0;
   if (comm_->rank() == owner)
     outcome = (static_cast<index_t>(owner) << nl_) | local_cdf.sample_scaled(u - before);
-  comm_->broadcast<index_t>(owner, std::span<index_t>(&outcome, 1));
+  comm_->template broadcast<index_t>(owner, std::span<index_t>(&outcome, 1));
   return outcome;
 }
 
-void DistStateVector::collapse(qubit_t q, int outcome) {
+template <typename T>
+void BasicDistStateVector<T>::collapse(qubit_t q, int outcome) {
   if (q >= n_) throw std::invalid_argument("collapse: bad qubit");
   const double p1 = probability_of_one(q);  // collective: identical on all ranks
   const double p = outcome == 1 ? p1 : 1.0 - p1;
   if (p < 1e-300) throw std::runtime_error("collapse: zero-probability outcome");
-  const double f = 1.0 / std::sqrt(p);
+  const T f = static_cast<T>(1.0 / std::sqrt(p));
   const bool keep_one = outcome == 1;
   if (q < nl_) {
 #pragma omp parallel for if (worth_parallelizing(local_.size()))
@@ -416,22 +447,26 @@ void DistStateVector::collapse(qubit_t q, int outcome) {
       if (bits::test(i, q) == keep_one) {
         local_[i] *= f;
       } else {
-        local_[i] = 0.0;
+        local_[i] = value_type{};
       }
     }
     return;
   }
   // Global qubit: the whole chunk shares the bit value — scale or zero.
   const bool mine_one = bits::test(static_cast<index_t>(comm_->rank()), q - nl_);
-  const complex_t factor = mine_one == keep_one ? complex_t{f} : complex_t{};
+  const value_type factor = mine_one == keep_one ? value_type{f} : value_type{};
 #pragma omp parallel for if (worth_parallelizing(local_.size()))
   for (index_t i = 0; i < local_.size(); ++i) local_[i] *= factor;
 }
 
-StateVector DistStateVector::gather_all() const {
-  StateVector sv(n_);
-  comm_->allgather<complex_t>({local_.data(), local_.size()}, sv.amplitudes());
+template <typename T>
+BasicStateVector<T> BasicDistStateVector<T>::gather_all() const {
+  BasicStateVector<T> sv(n_);
+  comm_->template allgather<value_type>({local_.data(), local_.size()}, sv.amplitudes());
   return sv;
 }
+
+template class BasicDistStateVector<float>;
+template class BasicDistStateVector<double>;
 
 }  // namespace qc::sim

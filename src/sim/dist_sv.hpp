@@ -9,6 +9,11 @@
 // ("our simulator") skips that exchange for diagonal gates and for
 // unsatisfied global controls — the structural advantage the paper
 // credits for Fig. 4's growing lead over qHiPSTER.
+//
+// Templated on the amplitude scalar T: under fp32 every chunk exchange
+// moves sizeof(std::complex<float>) = 8 bytes per amplitude — exactly
+// half the wire traffic of fp64 on the same plan (the engine's byte
+// accounting and the obs model report tie this out).
 #pragma once
 
 #include <array>
@@ -31,17 +36,20 @@ enum class CommPolicy {
                 ///< pairwise chunk exchange, diagonal or not.
 };
 
-class DistStateVector {
+template <typename T>
+class BasicDistStateVector {
  public:
+  using value_type = basic_complex_t<T>;
+
   /// Collective: every rank of `comm` constructs its share of an n-qubit
   /// |0...0>. comm.size() must be a power of two, <= 2^n.
-  DistStateVector(cluster::Comm& comm, qubit_t n_qubits);
+  BasicDistStateVector(cluster::Comm& comm, qubit_t n_qubits);
 
   [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
   [[nodiscard]] qubit_t local_qubits() const noexcept { return nl_; }
   [[nodiscard]] qubit_t global_qubits() const noexcept { return n_ - nl_; }
-  [[nodiscard]] std::span<complex_t> local() noexcept { return {local_.data(), local_.size()}; }
-  [[nodiscard]] std::span<const complex_t> local() const noexcept {
+  [[nodiscard]] std::span<value_type> local() noexcept { return {local_.data(), local_.size()}; }
+  [[nodiscard]] std::span<const value_type> local() const noexcept {
     return {local_.data(), local_.size()};
   }
   [[nodiscard]] cluster::Comm& comm() const noexcept { return *comm_; }
@@ -55,7 +63,7 @@ class DistStateVector {
 
   /// Collective reductions.
   [[nodiscard]] double norm_sq() const;
-  [[nodiscard]] double max_abs_diff(const DistStateVector& other) const;
+  [[nodiscard]] double max_abs_diff(const BasicDistStateVector& other) const;
   [[nodiscard]] double probability_of_one(qubit_t q) const;
 
   /// Collective: applies one gate under the given policy.
@@ -71,10 +79,10 @@ class DistStateVector {
   /// global-global pairs) are realized as ONE chunk permutation: the
   /// chunk splits into 2^k sub-blocks keyed by the k exchanged local
   /// bits, and each sub-block moves to the rank whose exchanged rank
-  /// bits equal its key (~16 bytes/amplitude over the wire, the Eq. 6
-  /// exchange term paid once for the whole swap set). This is the
-  /// global<->local exchange pass the distributed scheduler amortizes
-  /// across a sweep of global-qubit gates.
+  /// bits equal its key (sizeof(value_type) bytes/amplitude over the
+  /// wire, the Eq. 6 exchange term paid once for the whole swap set).
+  /// This is the global<->local exchange pass the distributed scheduler
+  /// amortizes across a sweep of global-qubit gates.
   void apply_qubit_swaps(std::span<const std::array<qubit_t, 2>> pairs);
 
   // --- collective measurement surface (paper §3.4 at cluster scale) ----
@@ -105,22 +113,27 @@ class DistStateVector {
 
   /// Collective: gathers the full state on every rank (test helper;
   /// only sensible for small n).
-  [[nodiscard]] StateVector gather_all() const;
+  [[nodiscard]] BasicStateVector<T> gather_all() const;
 
   /// Bytes exchanged by this rank since construction (for the
-  /// communication-volume assertions and the Fig. 4 analysis).
+  /// communication-volume assertions and the Fig. 4 analysis). Counts
+  /// sizeof(value_type) per amplitude, so fp32 runs report half the
+  /// fp64 volume on the same plan.
   [[nodiscard]] std::uint64_t bytes_communicated() const noexcept { return bytes_comm_; }
 
  private:
-  void exchange_and_combine(qubit_t rank_bit, const kernels::U2& u, index_t local_cmask,
+  void exchange_and_combine(qubit_t rank_bit, const kernels::U2T<T>& u, index_t local_cmask,
                             index_t global_cmask_bits);
 
   cluster::Comm* comm_;
   qubit_t n_;
   qubit_t nl_;
-  aligned_vector<complex_t> local_;
-  aligned_vector<complex_t> scratch_;
+  aligned_vector<value_type> local_;
+  aligned_vector<value_type> scratch_;
   std::uint64_t bytes_comm_ = 0;
 };
+
+/// Double-precision alias — the default across the non-templated API.
+using DistStateVector = BasicDistStateVector<double>;
 
 }  // namespace qc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/kernels_dispatch.hpp"
+
 namespace qc::sim::kernels {
 
 std::vector<qubit_t> sorted_bit_positions(index_t mask, std::initializer_list<qubit_t> extra) {
@@ -13,8 +15,28 @@ std::vector<qubit_t> sorted_bit_positions(index_t mask, std::initializer_list<qu
   return pos;
 }
 
-void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
-                          const U2& u, bool parallel) {
+namespace {
+
+/// Longest run (in amplitudes) handed to one microkernel call from a
+/// parallel sweep: short enough that flattening (group, segment) pairs
+/// keeps every thread busy even when the target is a top qubit (one
+/// giant run), long enough to amortize dispatch.
+inline constexpr index_t kParSegment = index_t{1} << 12;
+
+/// Splats a 2x2 block into the row-major {re, im} coefficient layout the
+/// dense2 microkernel consumes.
+template <typename T>
+std::array<T, 8> u2_coef(const U2T<T>& u) noexcept {
+  return {u.m00.real(), u.m00.imag(), u.m01.real(), u.m01.imag(),
+          u.m10.real(), u.m10.imag(), u.m11.real(), u.m11.imag()};
+}
+
+}  // namespace
+
+template <typename T>
+void apply_generic_masked(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                          index_t cmask, const U2T<T>& u, bool parallel) {
+  using C = basic_complex_t<T>;
   const index_t pairs = dim(n) >> 1;
   const index_t tbit = index_t{1} << target;
   if (parallel) {
@@ -23,7 +45,7 @@ void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, ind
       const index_t i0 = bits::insert_bit(j, target);
       if ((i0 & cmask) != cmask) continue;
       const index_t i1 = i0 | tbit;
-      const complex_t x0 = a[i0], x1 = a[i1];
+      const C x0 = a[i0], x1 = a[i1];
       a[i0] = u.m00 * x0 + u.m01 * x1;
       a[i1] = u.m10 * x0 + u.m11 * x1;
     }
@@ -32,38 +54,85 @@ void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, ind
       const index_t i0 = bits::insert_bit(j, target);
       if ((i0 & cmask) != cmask) continue;
       const index_t i1 = i0 | tbit;
-      const complex_t x0 = a[i0], x1 = a[i1];
+      const C x0 = a[i0], x1 = a[i1];
       a[i0] = u.m00 * x0 + u.m01 * x1;
       a[i1] = u.m10 * x0 + u.m11 * x1;
     }
   }
 }
 
-void apply_folded(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
-                  const U2& u) {
+template <typename T>
+void apply_folded(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask,
+                  const U2T<T>& u) {
+  using C = basic_complex_t<T>;
+  const index_t tbit = index_t{1} << target;
+  if (cmask == 0) {
+    // Uncontrolled: the (target=0, target=1) partners form contiguous
+    // runs of 2^target amplitudes — hand them to the runtime-dispatched
+    // dense2 microkernel. The (group, segment) flattening keeps the
+    // parallel loop load-balanced whether the target is qubit 0 (many
+    // short runs) or the top qubit (one run spanning half the vector).
+    const index_t size = dim(n);
+    const auto& mk = active_microkernels<T>();
+    const std::array<T, 8> coef = u2_coef(u);
+    const index_t seg = std::min(tbit, kParSegment);
+    const index_t per_run = tbit / seg;
+    const index_t total = (size >> (target + 1)) * per_run;
+    T* p = real_imag_planes(a.data());
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+    for (index_t s = 0; s < total; ++s) {
+      const index_t base = (s / per_run) * (tbit << 1) + (s % per_run) * seg;
+      mk.dense2(p + 2 * base, p + 2 * (base + tbit), seg, coef.data());
+    }
+    return;
+  }
   const auto pos = sorted_bit_positions(cmask, {target});
   const BitExpander expand{pos};
   const index_t count = dim(n) >> pos.size();
-  const index_t tbit = index_t{1} << target;
 #pragma omp parallel for schedule(static) if (worth_parallelizing(count))
   for (index_t j = 0; j < count; ++j) {
     const index_t i0 = expand(j) | cmask;
     const index_t i1 = i0 | tbit;
-    const complex_t x0 = a[i0], x1 = a[i1];
+    const C x0 = a[i0], x1 = a[i1];
     a[i0] = u.m00 * x0 + u.m01 * x1;
     a[i1] = u.m10 * x0 + u.m11 * x1;
   }
 }
 
-void apply_diagonal(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
-                    complex_t d1, index_t cmask) {
-  if (d0 == complex_t{1.0}) {
+template <typename T>
+void apply_diagonal(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                    basic_complex_t<T> d0, basic_complex_t<T> d1, index_t cmask) {
+  using C = basic_complex_t<T>;
+  const index_t tbit = index_t{1} << target;
+  if (cmask == 0) {
+    // Uncontrolled: every touched amplitude lies in a contiguous
+    // 2^target run — run-scale them through the dispatched microkernel,
+    // with the same (run, segment) flattening as apply_folded.
+    const index_t size = dim(n);
+    const auto& mk = active_microkernels<T>();
+    const bool skip0 = d0 == C{T{1}};
+    const index_t seg = std::min(tbit, kParSegment);
+    const index_t per_run = tbit / seg;
+    const index_t total = (size >> target) * per_run;
+    T* p = real_imag_planes(a.data());
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+    for (index_t s = 0; s < total; ++s) {
+      const index_t run = s / per_run;
+      const bool one = (run & 1) != 0;
+      if (skip0 && !one) continue;
+      const C d = one ? d1 : d0;
+      const index_t base = run * tbit + (s % per_run) * seg;
+      mk.scale(p + 2 * base, seg, d.real(), d.imag());
+    }
+    return;
+  }
+  if (d0 == C{T{1}}) {
     // Phase-type gate: only amplitudes with target=1 and controls=1
     // change — a quarter of the vector for the paper's CR gate.
     const auto pos = sorted_bit_positions(cmask, {target});
     const BitExpander expand{pos};
     const index_t count = dim(n) >> pos.size();
-    const index_t set_mask = cmask | (index_t{1} << target);
+    const index_t set_mask = cmask | tbit;
 #pragma omp parallel for schedule(static) if (worth_parallelizing(count))
     for (index_t j = 0; j < count; ++j) a[expand(j) | set_mask] *= d1;
     return;
@@ -73,7 +142,6 @@ void apply_diagonal(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t
   const auto pos = sorted_bit_positions(cmask, {});
   const BitExpander expand{pos};
   const index_t count = dim(n) >> pos.size();
-  const index_t tbit = index_t{1} << target;
 #pragma omp parallel for schedule(static) if (worth_parallelizing(count))
   for (index_t j = 0; j < count; ++j) {
     const index_t i = expand(j) | cmask;
@@ -81,7 +149,8 @@ void apply_diagonal(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t
   }
 }
 
-void apply_x(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask) {
+template <typename T>
+void apply_x(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask) {
   const auto pos = sorted_bit_positions(cmask, {target});
   const BitExpander expand{pos};
   const index_t count = dim(n) >> pos.size();
@@ -93,7 +162,9 @@ void apply_x(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask) {
   }
 }
 
-void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index_t cmask) {
+template <typename T>
+void apply_swap(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t qa, qubit_t qb,
+                index_t cmask) {
   // Touches only indices where the two bits differ: enumerate with both
   // bits removed, swap (qa=1,qb=0) with (qa=0,qb=1).
   const auto pos = sorted_bit_positions(cmask, {qa, qb});
@@ -112,24 +183,11 @@ namespace {
 
 // The serial kernels below are the per-chunk inner loops of the
 // cache-blocked executor: they run inside an outer cross-chunk parallel
-// region, so unlike the kernels above they cannot lean on OpenMP — and
-// without the pragma the compiler no longer assumes iteration
-// independence, so the generic loops stay scalar. The uncontrolled fast
-// paths therefore operate on the contiguous (target=0, target=1) runs
-// through raw double planes (std::complex guarantees the {re, im}
-// array layout), which auto-vectorizes and runs ~3x faster than the
-// scalar pair loop on AVX2.
-
-/// Multiplies the `count` complex amplitudes at `c` by the scalar d.
-inline void scale_run(complex_t* c, index_t count, complex_t d) {
-  const double dr = d.real(), di = d.imag();
-  double* p = real_imag_planes(c);
-  for (index_t i = 0; i < 2 * count; i += 2) {
-    const double xr = p[i], xi = p[i + 1];
-    p[i] = xr * dr - xi * di;
-    p[i + 1] = xr * di + xi * dr;
-  }
-}
+// region, so unlike the kernels above they cannot lean on OpenMP. Their
+// uncontrolled fast paths hand the contiguous (target=0, target=1) runs
+// to the runtime-dispatched microkernels (kernels_dispatch.hpp) through
+// raw scalar planes (std::complex guarantees the {re, im} array
+// layout); the generic masked loops stay scalar.
 
 /// Serial enumeration of expanded indices: j in [0, count) visits every
 /// index with 0 bits at `pos`. The 1/2/3-position cases (one target plus
@@ -165,27 +223,21 @@ inline void expanded_loop(std::span<const qubit_t> pos, index_t count, F&& f) {
 
 }  // namespace
 
-void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
-                         const U2& u) {
+template <typename T>
+void apply_folded_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                         index_t cmask, const U2T<T>& u) {
+  using C = basic_complex_t<T>;
   const index_t tbit = index_t{1} << target;
   if (cmask == 0) {
     // Uncontrolled: the (target=0, target=1) partners form contiguous
-    // runs of 2^target amplitudes; process them through double planes.
+    // runs of 2^target amplitudes; process them through the dispatched
+    // dense2 microkernel.
     const index_t size = dim(n);
-    const double ar = u.m00.real(), ai = u.m00.imag(), br = u.m01.real(), bi = u.m01.imag();
-    const double cr = u.m10.real(), ci = u.m10.imag(), dr = u.m11.real(), di = u.m11.imag();
-    double* p = real_imag_planes(a.data());
-    for (index_t g = 0; g < size; g += tbit << 1) {
-      double* p0 = p + 2 * g;
-      double* p1 = p + 2 * (g + tbit);
-      for (index_t i = 0; i < 2 * tbit; i += 2) {
-        const double x0r = p0[i], x0i = p0[i + 1], x1r = p1[i], x1i = p1[i + 1];
-        p0[i] = ar * x0r - ai * x0i + br * x1r - bi * x1i;
-        p0[i + 1] = ar * x0i + ai * x0r + br * x1i + bi * x1r;
-        p1[i] = cr * x0r - ci * x0i + dr * x1r - di * x1i;
-        p1[i + 1] = cr * x0i + ci * x0r + dr * x1i + di * x1r;
-      }
-    }
+    const auto& mk = active_microkernels<T>();
+    const std::array<T, 8> coef = u2_coef(u);
+    T* p = real_imag_planes(a.data());
+    for (index_t g = 0; g < size; g += tbit << 1)
+      mk.dense2(p + 2 * g, p + 2 * (g + tbit), tbit, coef.data());
     return;
   }
   const auto pos = sorted_bit_positions(cmask, {target});
@@ -193,27 +245,32 @@ void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, inde
   expanded_loop(pos, count, [&](index_t expanded) {
     const index_t i0 = expanded | cmask;
     const index_t i1 = i0 | tbit;
-    const complex_t x0 = a[i0], x1 = a[i1];
+    const C x0 = a[i0], x1 = a[i1];
     a[i0] = u.m00 * x0 + u.m01 * x1;
     a[i1] = u.m10 * x0 + u.m11 * x1;
   });
 }
 
-void apply_diagonal_serial(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
-                           complex_t d1, index_t cmask) {
+template <typename T>
+void apply_diagonal_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                           basic_complex_t<T> d0, basic_complex_t<T> d1, index_t cmask) {
+  using C = basic_complex_t<T>;
   const index_t tbit = index_t{1} << target;
   if (cmask == 0) {
     // Uncontrolled: the target=1 (and, unless d0 == 1, target=0)
-    // amplitudes form contiguous runs — scale them plane-wise.
+    // amplitudes form contiguous runs — scale them through the
+    // dispatched run-scale microkernel.
     const index_t size = dim(n);
-    const bool skip0 = d0 == complex_t{1.0};
+    const auto& mk = active_microkernels<T>();
+    const bool skip0 = d0 == C{T{1}};
+    T* p = real_imag_planes(a.data());
     for (index_t g = 0; g < size; g += tbit << 1) {
-      if (!skip0) scale_run(a.data() + g, tbit, d0);
-      scale_run(a.data() + g + tbit, tbit, d1);
+      if (!skip0) mk.scale(p + 2 * g, tbit, d0.real(), d0.imag());
+      mk.scale(p + 2 * (g + tbit), tbit, d1.real(), d1.imag());
     }
     return;
   }
-  if (d0 == complex_t{1.0}) {
+  if (d0 == C{T{1}}) {
     const auto pos = sorted_bit_positions(cmask, {target});
     const index_t count = dim(n) >> pos.size();
     const index_t set_mask = cmask | tbit;
@@ -228,7 +285,8 @@ void apply_diagonal_serial(std::span<complex_t> a, qubit_t n, qubit_t target, co
   });
 }
 
-void apply_x_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask) {
+template <typename T>
+void apply_x_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask) {
   const index_t tbit = index_t{1} << target;
   if (cmask == 0) {
     // Uncontrolled NOT: exchange the contiguous target=0 / target=1 runs.
@@ -247,7 +305,8 @@ void apply_x_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t c
   });
 }
 
-void apply_swap_serial(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb,
+template <typename T>
+void apply_swap_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t qa, qubit_t qb,
                        index_t cmask) {
   const auto pos = sorted_bit_positions(cmask, {qa, qb});
   const index_t count = dim(n) >> pos.size();
@@ -277,34 +336,35 @@ std::array<index_t, B> block_offsets(std::span<const qubit_t> targets) {
 
 /// Width-templated block apply: the compile-time block size lets the
 /// compiler fully unroll / FMA-vectorize the mat-vec, and the unitary is
-/// split once into real/imag planes so the hot loop is plain double
+/// split once into real/imag planes so the hot loop is plain scalar
 /// arithmetic (std::complex products inhibit vectorization). `Par`
 /// selects the OpenMP sweep vs the serial chunk-local form used inside
 /// the cache-blocked executor's cross-chunk parallel region.
-template <unsigned K, bool Par>
-void apply_multi_t(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                   std::span<const complex_t> u) {
+template <typename T, unsigned K, bool Par>
+void apply_multi_t(std::span<basic_complex_t<T>> a, qubit_t n, std::span<const qubit_t> targets,
+                   std::span<const basic_complex_t<T>> u) {
+  using C = basic_complex_t<T>;
   constexpr index_t B = index_t{1} << K;
   const BitExpander expand{targets};
   const std::array<index_t, B> offs = block_offsets<B>(targets);
-  alignas(64) std::array<double, B * B> ur, ui;
+  alignas(64) std::array<T, B * B> ur, ui;
   for (index_t i = 0; i < B * B; ++i) {
     ur[i] = u[i].real();
     ui[i] = u[i].imag();
   }
   const index_t count = dim(n) >> K;
-  const auto body = [&](index_t j, std::array<double, B>& xr, std::array<double, B>& xi,
-                        std::array<double, B>& yr, std::array<double, B>& yi) {
+  const auto body = [&](index_t j, std::array<T, B>& xr, std::array<T, B>& xi,
+                        std::array<T, B>& yr, std::array<T, B>& yi) {
     const index_t base = expand(j);
     for (index_t b = 0; b < B; ++b) {
-      const complex_t v = a[base | offs[b]];
+      const C v = a[base | offs[b]];
       xr[b] = v.real();
       xi[b] = v.imag();
     }
     for (index_t r = 0; r < B; ++r) {
-      const double* urow = ur.data() + r * B;
-      const double* uirow = ui.data() + r * B;
-      double accr = 0.0, acci = 0.0;
+      const T* urow = ur.data() + r * B;
+      const T* uirow = ui.data() + r * B;
+      T accr{}, acci{};
       for (index_t c = 0; c < B; ++c) {
         accr += urow[c] * xr[c] - uirow[c] * xi[c];
         acci += urow[c] * xi[c] + uirow[c] * xr[c];
@@ -312,37 +372,39 @@ void apply_multi_t(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> t
       yr[r] = accr;
       yi[r] = acci;
     }
-    for (index_t b = 0; b < B; ++b) a[base | offs[b]] = complex_t{yr[b], yi[b]};
+    for (index_t b = 0; b < B; ++b) a[base | offs[b]] = C{yr[b], yi[b]};
   };
   if constexpr (Par) {
 #pragma omp parallel if (worth_parallelizing(count))
     {
-      alignas(64) std::array<double, B> xr, xi, yr, yi;
+      alignas(64) std::array<T, B> xr, xi, yr, yi;
 #pragma omp for schedule(static)
       for (index_t j = 0; j < count; ++j) body(j, xr, xi, yr, yi);
     }
   } else {
-    alignas(64) std::array<double, B> xr, xi, yr, yi;
+    alignas(64) std::array<T, B> xr, xi, yr, yi;
     for (index_t j = 0; j < count; ++j) body(j, xr, xi, yr, yi);
   }
 }
 
 /// Generic fallback for the widest blocks (heap-sized scratch).
-template <bool Par>
-void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                         std::span<const complex_t> u) {
+template <typename T, bool Par>
+void apply_multi_generic(std::span<basic_complex_t<T>> a, qubit_t n,
+                         std::span<const qubit_t> targets,
+                         std::span<const basic_complex_t<T>> u) {
+  using C = basic_complex_t<T>;
   const auto k = static_cast<qubit_t>(targets.size());
   const index_t block = dim(k);
   const BitExpander expand{targets};
   const auto offs = block_offsets<dim(kMaxFusedWidth)>(targets);
-  const complex_t* um = u.data();
+  const C* um = u.data();
   const index_t count = dim(n) >> k;
-  const auto body = [&](index_t j, std::vector<complex_t>& x, std::vector<complex_t>& y) {
+  const auto body = [&](index_t j, std::vector<C>& x, std::vector<C>& y) {
     const index_t base = expand(j);
     for (index_t b = 0; b < block; ++b) x[b] = a[base | offs[b]];
     for (index_t r = 0; r < block; ++r) {
-      const complex_t* row = um + r * block;
-      complex_t acc{};
+      const C* row = um + r * block;
+      C acc{};
       for (index_t c = 0; c < block; ++c) acc += row[c] * x[c];
       y[r] = acc;
     }
@@ -351,98 +413,103 @@ void apply_multi_generic(std::span<complex_t> a, qubit_t n, std::span<const qubi
   if constexpr (Par) {
 #pragma omp parallel if (worth_parallelizing(count))
     {
-      std::vector<complex_t> x(block), y(block);
+      std::vector<C> x(block), y(block);
 #pragma omp for schedule(static)
       for (index_t j = 0; j < count; ++j) body(j, x, y);
     }
   } else {
-    std::vector<complex_t> x(block), y(block);
+    std::vector<C> x(block), y(block);
     for (index_t j = 0; j < count; ++j) body(j, x, y);
   }
 }
 
-/// Serial 2-qubit dense apply for the chunk executor: the generic
-/// gather kernel pays per-block staging (~2x at B = 4); this walks the
-/// four target-bit runs directly and does the unrolled 4x4 mat-vec in
-/// double planes, which vectorizes across the contiguous low-bit run.
-void apply_multi2_serial(std::span<complex_t> a, qubit_t n, qubit_t t0, qubit_t t1,
-                         std::span<const complex_t> u) {
+/// 2-qubit dense apply through the dispatched 4x4 microkernel: the
+/// generic gather kernel pays per-block staging (~2x at B = 4); this
+/// walks the four target-bit runs {00, 01, 10, 11} directly so the
+/// contiguous low-bit run vectorizes. Parallel form flattens (group,
+/// segment) pairs like apply_folded so high targets still load-balance.
+template <typename T, bool Par>
+void apply_multi2_impl(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t t0, qubit_t t1,
+                       std::span<const basic_complex_t<T>> u) {
   const index_t size = dim(n);
   const index_t b0 = index_t{1} << t0;
   const index_t b1 = index_t{1} << t1;
-  // Unitary coefficient planes, row-major 4x4.
-  double ur[16], ui[16];
+  // Unitary coefficient planes, row-major 4x4 (local bit 0 <-> t0).
+  alignas(64) T ur[16], ui[16];
   for (int i = 0; i < 16; ++i) {
     ur[i] = u[i].real();
     ui[i] = u[i].imag();
   }
-  for (index_t g1 = 0; g1 < size; g1 += b1 << 1) {
-    for (index_t g0 = g1; g0 < g1 + b1; g0 += b0 << 1) {
-      // Four interleaved runs of b0 amplitudes: local basis {00,01,10,11}
-      // at offsets {0, b0, b1, b0 + b1} (local bit 0 <-> t0).
-      double* p0 = real_imag_planes(a.data() + g0);
-      double* p1 = p0 + 2 * b0;
-      double* p2 = real_imag_planes(a.data() + g0 + b1);
-      double* p3 = p2 + 2 * b0;
-      for (index_t i = 0; i < 2 * b0; i += 2) {
-        const double xr[4] = {p0[i], p1[i], p2[i], p3[i]};
-        const double xi[4] = {p0[i + 1], p1[i + 1], p2[i + 1], p3[i + 1]};
-        double yr[4], yi[4];
-        for (int r = 0; r < 4; ++r) {
-          const double* urr = ur + 4 * r;
-          const double* uir = ui + 4 * r;
-          yr[r] = urr[0] * xr[0] - uir[0] * xi[0] + urr[1] * xr[1] - uir[1] * xi[1] +
-                  urr[2] * xr[2] - uir[2] * xi[2] + urr[3] * xr[3] - uir[3] * xi[3];
-          yi[r] = urr[0] * xi[0] + uir[0] * xr[0] + urr[1] * xi[1] + uir[1] * xr[1] +
-                  urr[2] * xi[2] + uir[2] * xr[2] + urr[3] * xi[3] + uir[3] * xr[3];
-        }
-        p0[i] = yr[0];
-        p0[i + 1] = yi[0];
-        p1[i] = yr[1];
-        p1[i + 1] = yi[1];
-        p2[i] = yr[2];
-        p2[i + 1] = yi[2];
-        p3[i] = yr[3];
-        p3[i + 1] = yi[3];
-      }
+  const auto& mk = active_microkernels<T>();
+  T* p = real_imag_planes(a.data());
+  const index_t inner = b1 / (b0 << 1);  // g0 groups per g1 group
+  if constexpr (Par) {
+    const index_t seg = std::min(b0, kParSegment);
+    const index_t per_run = b0 / seg;
+    const index_t total = (size / (b1 << 1)) * inner * per_run;
+#pragma omp parallel for schedule(static) if (worth_parallelizing(size))
+    for (index_t s = 0; s < total; ++s) {
+      const index_t o = s / (inner * per_run);
+      const index_t rem = s % (inner * per_run);
+      const index_t base =
+          o * (b1 << 1) + (rem / per_run) * (b0 << 1) + (rem % per_run) * seg;
+      mk.dense4(p + 2 * base, p + 2 * (base + b0), p + 2 * (base + b1),
+                p + 2 * (base + b0 + b1), seg, ur, ui);
     }
+  } else {
+    for (index_t g1 = 0; g1 < size; g1 += b1 << 1)
+      for (index_t g0 = g1; g0 < g1 + b1; g0 += b0 << 1)
+        mk.dense4(p + 2 * g0, p + 2 * (g0 + b0), p + 2 * (g0 + b1), p + 2 * (g0 + b0 + b1),
+                  b0, ur, ui);
   }
 }
 
-template <bool Par>
-void apply_multi_dispatch(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                          std::span<const complex_t> u) {
+template <typename T, bool Par>
+void apply_multi_dispatch(std::span<basic_complex_t<T>> a, qubit_t n,
+                          std::span<const qubit_t> targets,
+                          std::span<const basic_complex_t<T>> u) {
   const auto k = static_cast<qubit_t>(targets.size());
   assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
   assert(u.size() == dim(k) * dim(k));
   assert(std::is_sorted(targets.begin(), targets.end()));
   switch (k) {
-    case 1: return apply_multi_t<1, Par>(a, n, targets, u);
-    case 2:
-      if constexpr (!Par) return apply_multi2_serial(a, n, targets[0], targets[1], u);
-      return apply_multi_t<2, Par>(a, n, targets, u);
-    case 3: return apply_multi_t<3, Par>(a, n, targets, u);
-    case 4: return apply_multi_t<4, Par>(a, n, targets, u);
-    case 5: return apply_multi_t<5, Par>(a, n, targets, u);
-    case 6: return apply_multi_t<6, Par>(a, n, targets, u);
-    default: return apply_multi_generic<Par>(a, n, targets, u);
+    case 1: {
+      // Route through the folded 2x2 path so fused single-qubit blocks
+      // hit the dispatched dense2 microkernel.
+      const U2T<T> u2{u[0], u[1], u[2], u[3]};
+      if constexpr (Par)
+        return apply_folded<T>(a, n, targets[0], 0, u2);
+      else
+        return apply_folded_serial<T>(a, n, targets[0], 0, u2);
+    }
+    case 2: return apply_multi2_impl<T, Par>(a, n, targets[0], targets[1], u);
+    case 3: return apply_multi_t<T, 3, Par>(a, n, targets, u);
+    case 4: return apply_multi_t<T, 4, Par>(a, n, targets, u);
+    case 5: return apply_multi_t<T, 5, Par>(a, n, targets, u);
+    case 6: return apply_multi_t<T, 6, Par>(a, n, targets, u);
+    default: return apply_multi_generic<T, Par>(a, n, targets, u);
   }
 }
 
 }  // namespace
 
-void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                 std::span<const complex_t> u) {
-  apply_multi_dispatch<true>(a, n, targets, u);
+template <typename T>
+void apply_multi(std::span<basic_complex_t<T>> a, qubit_t n, std::span<const qubit_t> targets,
+                 std::span<const basic_complex_t<T>> u) {
+  apply_multi_dispatch<T, true>(a, n, targets, u);
 }
 
-void apply_multi_serial(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                        std::span<const complex_t> u) {
-  apply_multi_dispatch<false>(a, n, targets, u);
+template <typename T>
+void apply_multi_serial(std::span<basic_complex_t<T>> a, qubit_t n,
+                        std::span<const qubit_t> targets,
+                        std::span<const basic_complex_t<T>> u) {
+  apply_multi_dispatch<T, false>(a, n, targets, u);
 }
 
-void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                          std::span<const complex_t> d) {
+template <typename T>
+void apply_multi_diagonal(std::span<basic_complex_t<T>> a, qubit_t n,
+                          std::span<const qubit_t> targets,
+                          std::span<const basic_complex_t<T>> d) {
   const auto k = static_cast<qubit_t>(targets.size());
   assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
   assert(d.size() == dim(k));
@@ -455,9 +522,10 @@ void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qub
   }
 }
 
-void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
+template <typename T>
+void apply_multi_diagonal_serial(std::span<basic_complex_t<T>> a, qubit_t n,
                                  std::span<const qubit_t> targets,
-                                 std::span<const complex_t> d) {
+                                 std::span<const basic_complex_t<T>> d) {
   const auto k = static_cast<qubit_t>(targets.size());
   assert(k >= 1 && k <= kMaxFusedWidth && k <= n);
   assert(d.size() == dim(k));
@@ -469,7 +537,8 @@ void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
   }
 }
 
-void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
+template <typename T>
+void apply_qubit_swaps(std::span<basic_complex_t<T>> a, qubit_t n,
                        std::span<const std::array<qubit_t, 2>> pairs) {
   if (pairs.empty()) return;
 #ifndef NDEBUG
@@ -491,42 +560,88 @@ void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
   }
 }
 
-void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms) {
+template <typename T>
+void apply_fused_diagonal(std::span<basic_complex_t<T>> a,
+                          std::span<const DiagonalTermT<T>> terms) {
+  using C = basic_complex_t<T>;
   const index_t size = a.size();
   // Factor-table fast path: when the union support fits a fused-width
   // block, each amplitude's factor depends only on those k bits —
   // precompute all 2^k products once and let apply_multi_diagonal do a
   // branch-free table-lookup sweep.
   index_t support = 0;
-  for (const DiagonalTerm& t : terms) support |= t.cmask | (index_t{1} << t.target);
+  for (const DiagonalTermT<T>& t : terms) support |= t.cmask | (index_t{1} << t.target);
   const int k = bits::popcount(support);
   if (k >= 1 && k <= static_cast<int>(kMaxFusedWidth)) {
     const std::vector<qubit_t> pos = sorted_bit_positions(support);
     const index_t block = index_t{1} << k;
-    std::vector<complex_t> d(block);
+    std::vector<C> d(block);
     for (index_t b = 0; b < block; ++b) {
       index_t idx = 0;
       for (int l = 0; l < k; ++l)
         if (bits::test(b, static_cast<qubit_t>(l))) idx = bits::set(idx, pos[l]);
-      complex_t factor{1.0};
-      for (const DiagonalTerm& t : terms) {
+      C factor{T{1}};
+      for (const DiagonalTermT<T>& t : terms) {
         if ((idx & t.cmask) != t.cmask) continue;
         factor *= bits::test(idx, t.target) ? t.d1 : t.d0;
       }
       d[b] = factor;
     }
-    apply_multi_diagonal(a, bits::log2_floor(size), pos, d);
+    apply_multi_diagonal<T>(a, bits::log2_floor(size), pos, d);
     return;
   }
 #pragma omp parallel for schedule(static) if (worth_parallelizing(size))
   for (index_t i = 0; i < size; ++i) {
-    complex_t factor{1.0};
-    for (const DiagonalTerm& t : terms) {
+    C factor{T{1}};
+    for (const DiagonalTermT<T>& t : terms) {
       if ((i & t.cmask) != t.cmask) continue;
       factor *= bits::test(i, t.target) ? t.d1 : t.d0;
     }
     a[i] *= factor;
   }
 }
+
+// ---------------------------------------------------------------------
+// Explicit instantiations: the kernel surface exists exactly for the
+// two amplitude precisions the engine exposes (Precision::kF64/kF32).
+// ---------------------------------------------------------------------
+
+#define QC_INSTANTIATE_KERNELS(T)                                                             \
+  template void apply_generic_masked<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t,      \
+                                        index_t, const U2T<T>&, bool);                        \
+  template void apply_folded<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t, index_t,     \
+                                const U2T<T>&);                                               \
+  template void apply_diagonal<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t,            \
+                                  basic_complex_t<T>, basic_complex_t<T>, index_t);           \
+  template void apply_x<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t, index_t);         \
+  template void apply_swap<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t, qubit_t,       \
+                              index_t);                                                       \
+  template void apply_folded_serial<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t,       \
+                                       index_t, const U2T<T>&);                               \
+  template void apply_diagonal_serial<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t,     \
+                                         basic_complex_t<T>, basic_complex_t<T>, index_t);    \
+  template void apply_x_serial<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t, index_t);  \
+  template void apply_swap_serial<T>(std::span<basic_complex_t<T>>, qubit_t, qubit_t,         \
+                                     qubit_t, index_t);                                       \
+  template void apply_fused_diagonal<T>(std::span<basic_complex_t<T>>,                        \
+                                        std::span<const DiagonalTermT<T>>);                   \
+  template void apply_multi<T>(std::span<basic_complex_t<T>>, qubit_t,                        \
+                               std::span<const qubit_t>, std::span<const basic_complex_t<T>>); \
+  template void apply_multi_serial<T>(std::span<basic_complex_t<T>>, qubit_t,                 \
+                                      std::span<const qubit_t>,                               \
+                                      std::span<const basic_complex_t<T>>);                   \
+  template void apply_multi_diagonal<T>(std::span<basic_complex_t<T>>, qubit_t,               \
+                                        std::span<const qubit_t>,                             \
+                                        std::span<const basic_complex_t<T>>);                 \
+  template void apply_multi_diagonal_serial<T>(std::span<basic_complex_t<T>>, qubit_t,        \
+                                               std::span<const qubit_t>,                      \
+                                               std::span<const basic_complex_t<T>>);          \
+  template void apply_qubit_swaps<T>(std::span<basic_complex_t<T>>, qubit_t,                  \
+                                     std::span<const std::array<qubit_t, 2>>);
+
+QC_INSTANTIATE_KERNELS(float)
+QC_INSTANTIATE_KERNELS(double)
+
+#undef QC_INSTANTIATE_KERNELS
 
 }  // namespace qc::sim::kernels

@@ -18,6 +18,14 @@
 //  * fused diagonal runs — consecutive diagonal gates commute and can be
 //    applied in a single memory sweep; exposed for the ablation bench.
 //
+// Every kernel is templated on the real amplitude scalar T in
+// {float, double}: fp64 is the reference, fp32 halves the bytes each
+// sweep moves (the paper's figure of merit is bandwidth, §4.2). The
+// contiguous-run inner loops of the dense 2x2 / 4x4 and diagonal kernels
+// are further routed through runtime-dispatched SIMD microkernels
+// (kernels_dispatch.hpp) so one portable binary still saturates AVX2 /
+// AVX-512 hosts.
+//
 // All kernels are race-free under OpenMP: iteration index j maps to a
 // unique amplitude (pair), so static scheduling partitions memory
 // disjointly.
@@ -26,6 +34,7 @@
 #include <array>
 #include <cassert>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -34,26 +43,44 @@
 
 namespace qc::sim::kernels {
 
-/// Dense 2x2 unitary block, row-major.
-struct U2 {
-  complex_t m00, m01, m10, m11;
+/// Dense 2x2 unitary block, row-major, over real scalar T.
+template <typename T>
+struct U2T {
+  basic_complex_t<T> m00, m01, m10, m11;
 };
 
-/// The sanctioned way to view a run of complex amplitudes as interleaved
-/// {re, im} double pairs (amplitude j at planes[2j], planes[2j + 1]).
-/// [complex.numbers.general]/4 guarantees this array compatibility: for
-/// an array a of std::complex<double>, reinterpret_cast<double*>(a)[2j]
-/// and [2j + 1] designate the real and imaginary parts of a[j]. The
-/// vectorized serial kernels use it to auto-vectorize over contiguous
-/// runs; every complex->double reinterpretation in the codebase must go
-/// through this accessor so the (single, standard-blessed) aliasing
-/// assumption is written down exactly once.
-inline double* real_imag_planes(complex_t* c) noexcept {
-  return reinterpret_cast<double*>(c);
+/// Double-precision alias — the default across the non-templated API.
+using U2 = U2T<double>;
+
+/// Converts a 2x2 block between amplitude precisions (planning stays
+/// fp64; executors narrow the block once per gate, not per amplitude).
+template <typename T>
+constexpr U2T<T> u2_cast(const U2& u) noexcept {
+  if constexpr (std::is_same_v<T, double>) {
+    return u;
+  } else {
+    return U2T<T>{static_cast<basic_complex_t<T>>(u.m00), static_cast<basic_complex_t<T>>(u.m01),
+                  static_cast<basic_complex_t<T>>(u.m10), static_cast<basic_complex_t<T>>(u.m11)};
+  }
 }
 
-inline const double* real_imag_planes(const complex_t* c) noexcept {
-  return reinterpret_cast<const double*>(c);
+/// The sanctioned way to view a run of complex amplitudes as interleaved
+/// {re, im} scalar pairs (amplitude j at planes[2j], planes[2j + 1]).
+/// [complex.numbers.general]/4 guarantees this array compatibility: for
+/// an array a of std::complex<T>, reinterpret_cast<T*>(a)[2j]
+/// and [2j + 1] designate the real and imaginary parts of a[j]. The
+/// vectorized kernels use it to operate on contiguous runs; every
+/// complex->scalar reinterpretation in the codebase must go through this
+/// accessor so the (single, standard-blessed) aliasing assumption is
+/// written down exactly once.
+template <typename T>
+inline T* real_imag_planes(basic_complex_t<T>* c) noexcept {
+  return reinterpret_cast<T*>(c);
+}
+
+template <typename T>
+inline const T* real_imag_planes(const basic_complex_t<T>* c) noexcept {
+  return reinterpret_cast<const T*>(c);
 }
 
 /// Expands a compressed index to a full basis index by re-inserting 0
@@ -92,8 +119,9 @@ std::vector<qubit_t> sorted_bit_positions(index_t mask, std::initializer_list<qu
 
 /// Full pair traversal with per-pair control check and dense 2x2 math.
 /// `parallel` selects OpenMP (QhipsterLike) vs serial (LiquidLike).
-void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
-                          const U2& u, bool parallel);
+template <typename T>
+void apply_generic_masked(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                          index_t cmask, const U2T<T>& u, bool parallel);
 
 // ---------------------------------------------------------------------
 // Specialized tier ("our simulator").
@@ -101,19 +129,25 @@ void apply_generic_masked(std::span<complex_t> a, qubit_t n, qubit_t target, ind
 
 /// Control-folded dense 2x2: enumerates only pairs whose controls are
 /// satisfied (2^{n-1-c} pairs instead of 2^{n-1}).
-void apply_folded(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask, const U2& u);
+template <typename T>
+void apply_folded(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask,
+                  const U2T<T>& u);
 
 /// Diagonal gate diag(d0, d1) on `target`, controls folded. If d0 == 1
 /// (Z, S, T, R(theta)/CR) only the target=1, controls=1 quarter/half is
 /// touched; otherwise a single in-place sweep of the controls=1 part.
-void apply_diagonal(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
-                    complex_t d1, index_t cmask);
+template <typename T>
+void apply_diagonal(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                    basic_complex_t<T> d0, basic_complex_t<T> d1, index_t cmask);
 
 /// NOT/CNOT/Toffoli as a pure amplitude swap (no flops), controls folded.
-void apply_x(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask);
+template <typename T>
+void apply_x(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask);
 
 /// SWAP gate: exchanges amplitudes where the two target bits differ.
-void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index_t cmask);
+template <typename T>
+void apply_swap(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t qa, qubit_t qb,
+                index_t cmask);
 
 // ---------------------------------------------------------------------
 // Serial chunk-local variants (cache-blocked execution, qc::sched).
@@ -124,12 +158,16 @@ void apply_swap(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb, index
 // parallel loop, so the inner kernels must stay serial.
 // ---------------------------------------------------------------------
 
-void apply_folded_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask,
-                         const U2& u);
-void apply_diagonal_serial(std::span<complex_t> a, qubit_t n, qubit_t target, complex_t d0,
-                           complex_t d1, index_t cmask);
-void apply_x_serial(std::span<complex_t> a, qubit_t n, qubit_t target, index_t cmask);
-void apply_swap_serial(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb,
+template <typename T>
+void apply_folded_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                         index_t cmask, const U2T<T>& u);
+template <typename T>
+void apply_diagonal_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target,
+                           basic_complex_t<T> d0, basic_complex_t<T> d1, index_t cmask);
+template <typename T>
+void apply_x_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t target, index_t cmask);
+template <typename T>
+void apply_swap_serial(std::span<basic_complex_t<T>> a, qubit_t n, qubit_t qa, qubit_t qb,
                        index_t cmask);
 
 // ---------------------------------------------------------------------
@@ -137,11 +175,15 @@ void apply_swap_serial(std::span<complex_t> a, qubit_t n, qubit_t qa, qubit_t qb
 // ---------------------------------------------------------------------
 
 /// One gate of a fused diagonal run.
-struct DiagonalTerm {
+template <typename T>
+struct DiagonalTermT {
   qubit_t target = 0;
   index_t cmask = 0;
-  complex_t d0{1.0}, d1{1.0};
+  basic_complex_t<T> d0{T{1}}, d1{T{1}};
 };
+
+/// Double-precision alias — what the fusion planner emits.
+using DiagonalTerm = DiagonalTermT<double>;
 
 /// Applies a run of diagonal gates in a single sweep: each amplitude is
 /// multiplied by the product of its per-gate factors. One memory pass
@@ -151,7 +193,9 @@ struct DiagonalTerm {
 /// factor depends only on those bits: the 2^k factor table is built once
 /// and the sweep dispatches to apply_multi_diagonal, replacing the
 /// O(size x terms) branchy inner loop with one table lookup.
-void apply_fused_diagonal(std::span<complex_t> a, std::span<const DiagonalTerm> terms);
+template <typename T>
+void apply_fused_diagonal(std::span<basic_complex_t<T>> a,
+                          std::span<const DiagonalTermT<T>> terms);
 
 // ---------------------------------------------------------------------
 // k-qubit dense tier (gate fusion).
@@ -169,22 +213,28 @@ inline constexpr qubit_t kMaxFusedWidth = 8;
 /// 2^k-amplitude block, multiplies by `u`, scatters back. This is the
 /// generalized-BitExpander execution engine for fused gate blocks: one
 /// memory pass replaces one pass per original gate.
-void apply_multi(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                 std::span<const complex_t> u);
+template <typename T>
+void apply_multi(std::span<basic_complex_t<T>> a, qubit_t n, std::span<const qubit_t> targets,
+                 std::span<const basic_complex_t<T>> u);
 
 /// Diagonal specialization of apply_multi: multiplies each amplitude by
 /// the diagonal entry `d[b]` selected by its k target bits (d has 2^k
 /// entries). Single in-place sweep, no gather/scatter.
-void apply_multi_diagonal(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                          std::span<const complex_t> d);
+template <typename T>
+void apply_multi_diagonal(std::span<basic_complex_t<T>> a, qubit_t n,
+                          std::span<const qubit_t> targets,
+                          std::span<const basic_complex_t<T>> d);
 
 /// Serial chunk-local variants of the k-qubit tier (see the serial
 /// single-gate variants above for the calling convention).
-void apply_multi_serial(std::span<complex_t> a, qubit_t n, std::span<const qubit_t> targets,
-                        std::span<const complex_t> u);
-void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
+template <typename T>
+void apply_multi_serial(std::span<basic_complex_t<T>> a, qubit_t n,
+                        std::span<const qubit_t> targets,
+                        std::span<const basic_complex_t<T>> u);
+template <typename T>
+void apply_multi_diagonal_serial(std::span<basic_complex_t<T>> a, qubit_t n,
                                  std::span<const qubit_t> targets,
-                                 std::span<const complex_t> d);
+                                 std::span<const basic_complex_t<T>> d);
 
 // ---------------------------------------------------------------------
 // Qubit remapping (cache-blocked scheduler's local/global relocation).
@@ -198,7 +248,8 @@ void apply_multi_diagonal_serial(std::span<complex_t> a, qubit_t n,
 /// sched layer relocates "high" qubits into the cache-local low block,
 /// the cache-level analogue of dist_sv's rank exchange. All pair
 /// members must be distinct qubits below n.
-void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
+template <typename T>
+void apply_qubit_swaps(std::span<basic_complex_t<T>> a, qubit_t n,
                        std::span<const std::array<qubit_t, 2>> pairs);
 
 // ---------------------------------------------------------------------
@@ -208,8 +259,9 @@ void apply_qubit_swaps(std::span<complex_t> a, qubit_t n,
 
 /// Permutes amplitudes: new[f(i)] = old[i]. `f` must be a bijection on
 /// [0, a.size()); scratch must be the same size as a.
-template <typename F>
-void apply_permutation(std::span<complex_t> a, std::span<complex_t> scratch, F&& f) {
+template <typename T, typename F>
+void apply_permutation(std::span<basic_complex_t<T>> a, std::span<basic_complex_t<T>> scratch,
+                       F&& f) {
   assert(scratch.size() == a.size());
   const index_t size = a.size();
 #pragma omp parallel for if (worth_parallelizing(size))
@@ -219,11 +271,11 @@ void apply_permutation(std::span<complex_t> a, std::span<complex_t> scratch, F&&
 }
 
 /// Multiplies each amplitude by a per-index factor: a[i] *= f(i).
-template <typename F>
-void apply_phase_oracle(std::span<complex_t> a, F&& f) {
+template <typename T, typename F>
+void apply_phase_oracle(std::span<basic_complex_t<T>> a, F&& f) {
   const index_t size = a.size();
 #pragma omp parallel for if (worth_parallelizing(size))
-  for (index_t i = 0; i < size; ++i) a[i] *= f(i);
+  for (index_t i = 0; i < size; ++i) a[i] *= static_cast<basic_complex_t<T>>(f(i));
 }
 
 }  // namespace qc::sim::kernels

@@ -1,0 +1,151 @@
+// Runtime ISA dispatch for the dense / diagonal kernel inner loops.
+//
+// The library ships one portable binary (CI builds with QC_NATIVE=OFF),
+// so the hot contiguous-run loops cannot rely on -march=native for
+// vectorization. Instead the three microkernels below — dense 2x2,
+// dense 4x4, and the run-scaled diagonal — exist in hand-vectorized
+// AVX2 and AVX-512 variants next to the scalar reference, and one of
+// the three implementations is selected at startup by CPUID-based
+// feature detection (overridable with QC_SIMD=scalar|avx2|avx512).
+//
+// All variants operate on the interleaved {re, im} plane layout exposed
+// by kernels::real_imag_planes() — amplitude j of a run lives at
+// planes[2j] / planes[2j + 1] — and must agree with the scalar
+// reference to 1e-12 at fp64 (tests/test_dispatch.cpp enforces this for
+// every gate class; CONTRIBUTING requires the same of any new kernel).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace qc::sim::kernels {
+
+/// Instruction sets the microkernels are specialized for, in
+/// monotonically-increasing capability order.
+enum class SimdIsa : int {
+  kScalar = 0,  ///< Portable reference loops (also the sanitizer path).
+  kAvx2 = 1,    ///< 256-bit FMA over 2 fp64 / 4 fp32 amplitudes.
+  kAvx512 = 2,  ///< 512-bit FMA over 4 fp64 / 8 fp32 amplitudes.
+};
+
+/// Short stable name ("scalar" / "avx2" / "avx512") for logs, the obs
+/// dispatch record, and the QC_SIMD override.
+const char* isa_name(SimdIsa isa) noexcept;
+
+/// Parses a QC_SIMD-style name; returns false on unknown input.
+bool parse_isa(std::string_view name, SimdIsa& out) noexcept;
+
+/// What the host CPU supports (CPUID via __builtin_cpu_supports),
+/// independent of any override. Non-x86 builds report kScalar.
+SimdIsa detect_isa() noexcept;
+
+/// True when `isa`'s microkernels were actually compiled in (the build
+/// gates the AVX translation units on compiler support) AND the host
+/// CPU can execute them. kScalar is always available.
+bool isa_available(SimdIsa isa) noexcept;
+
+/// The ISA every kernel currently routes through: resolved once at
+/// first use as min(detect_isa(), QC_SIMD override), cached. A QC_SIMD
+/// value naming an unavailable ISA is clamped down to the best
+/// available one (requesting a *lower* tier than detected is honored —
+/// that is the point of the override).
+SimdIsa active_isa() noexcept;
+
+/// Test/bench hook: force the dispatch decision. The forced ISA must be
+/// available (checked); returns the previous active ISA so callers can
+/// restore it.
+SimdIsa force_isa(SimdIsa isa);
+
+/// Test hook: drop the cached decision and re-resolve from CPUID +
+/// QC_SIMD at the next active_isa() call.
+void refresh_isa();
+
+/// The three run-contiguous microkernels, per amplitude scalar T.
+/// Pointers index interleaved {re, im} planes (see real_imag_planes);
+/// `count` is a number of complex amplitudes, so 2*count scalars.
+template <typename T>
+struct Microkernels {
+  /// Dense 2x2 over the paired runs p0 (target=0) / p1 (target=1):
+  /// coef = {ar, ai, br, bi, cr, ci, dr, di} row-major for
+  /// u = [[a, b], [c, d]].
+  void (*dense2)(T* p0, T* p1, index_t count, const T* coef);
+  /// Dense 4x4 over the four local-basis runs {00, 01, 10, 11};
+  /// ur / ui are the 16 row-major coefficient planes.
+  void (*dense4)(T* p0, T* p1, T* p2, T* p3, index_t count, const T* ur, const T* ui);
+  /// Multiplies the run by the scalar (dr + i*di).
+  void (*scale)(T* p, index_t count, T dr, T di);
+};
+
+/// The table implementing `isa` for scalar T (valid for any available
+/// ISA; an ISA compiled out falls back to the scalar entries).
+template <typename T>
+const Microkernels<T>& microkernels_for(SimdIsa isa) noexcept;
+
+/// The table the kernels should use right now (microkernels_for of
+/// active_isa()).
+template <typename T>
+inline const Microkernels<T>& active_microkernels() noexcept {
+  return microkernels_for<T>(active_isa());
+}
+
+// Scalar reference implementations — public so equivalence tests and
+// new ISA variants have a canonical baseline to diff against.
+template <typename T>
+void dense2_scalar(T* p0, T* p1, index_t count, const T* coef);
+template <typename T>
+void dense4_scalar(T* p0, T* p1, T* p2, T* p3, index_t count, const T* ur, const T* ui);
+template <typename T>
+void scale_scalar(T* p, index_t count, T dr, T di);
+
+// AVX2 / AVX-512 variants, defined in kernels_avx2.cpp /
+// kernels_avx512.cpp (translation units built with -mavx2 -mfma /
+// -mavx512f when the compiler supports the flags; otherwise they
+// forward to the scalar reference and the ISA reports unavailable).
+// (Declared as explicit per-type specializations — the variants are
+// hand-written intrinsics per scalar width, not generic code.)
+template <typename T>
+void dense2_avx2(T* p0, T* p1, index_t count, const T* coef);
+template <typename T>
+void dense4_avx2(T* p0, T* p1, T* p2, T* p3, index_t count, const T* ur, const T* ui);
+template <typename T>
+void scale_avx2(T* p, index_t count, T dr, T di);
+template <>
+void dense2_avx2<float>(float*, float*, index_t count, const float*);
+template <>
+void dense2_avx2<double>(double*, double*, index_t count, const double*);
+template <>
+void dense4_avx2<float>(float*, float*, float*, float*, index_t count, const float*,
+                        const float*);
+template <>
+void dense4_avx2<double>(double*, double*, double*, double*, index_t count, const double*,
+                         const double*);
+template <>
+void scale_avx2<float>(float*, index_t count, float dr, float di);
+template <>
+void scale_avx2<double>(double*, index_t count, double dr, double di);
+bool avx2_compiled_in() noexcept;
+
+template <typename T>
+void dense2_avx512(T* p0, T* p1, index_t count, const T* coef);
+template <typename T>
+void dense4_avx512(T* p0, T* p1, T* p2, T* p3, index_t count, const T* ur, const T* ui);
+template <typename T>
+void scale_avx512(T* p, index_t count, T dr, T di);
+template <>
+void dense2_avx512<float>(float*, float*, index_t count, const float*);
+template <>
+void dense2_avx512<double>(double*, double*, index_t count, const double*);
+template <>
+void dense4_avx512<float>(float*, float*, float*, float*, index_t count, const float*,
+                          const float*);
+template <>
+void dense4_avx512<double>(double*, double*, double*, double*, index_t count, const double*,
+                           const double*);
+template <>
+void scale_avx512<float>(float*, index_t count, float dr, float di);
+template <>
+void scale_avx512<double>(double*, index_t count, double dr, double di);
+bool avx512_compiled_in() noexcept;
+
+}  // namespace qc::sim::kernels

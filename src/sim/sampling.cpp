@@ -57,12 +57,20 @@ SampleCdf SampleCdf::from_weights(std::span<const double> weights) {
   return cdf;
 }
 
-SampleCdf SampleCdf::from_amplitudes(std::span<const complex_t> amplitudes) {
+template <typename T>
+SampleCdf SampleCdf::from_amplitudes(std::span<const basic_complex_t<T>> amplitudes) {
   SampleCdf cdf;
-  cdf.cum_ = prefix_sum(amplitudes.size(),
-                        [&](std::size_t i) { return std::norm(amplitudes[i]); });
+  cdf.cum_ = prefix_sum(amplitudes.size(), [&](std::size_t i) {
+    // Accumulate |a_i|^2 in double even for fp32 amplitudes: the CDF is
+    // O(2^n) additions and would lose outcomes to fp32 cancellation.
+    const double re = amplitudes[i].real(), im = amplitudes[i].imag();
+    return re * re + im * im;
+  });
   return cdf;
 }
+
+template SampleCdf SampleCdf::from_amplitudes<float>(std::span<const basic_complex_t<float>>);
+template SampleCdf SampleCdf::from_amplitudes<double>(std::span<const basic_complex_t<double>>);
 
 index_t SampleCdf::sample_scaled(double u) const {
   // First outcome whose cumulative strictly exceeds u. upper_bound can

@@ -34,7 +34,10 @@ class SampleCdf {
   [[nodiscard]] static SampleCdf from_weights(std::span<const double> weights);
 
   /// CDF over |a_i|^2 — sampling a full-register outcome from a state.
-  [[nodiscard]] static SampleCdf from_amplitudes(std::span<const complex_t> amplitudes);
+  /// The cumulative is accumulated in double regardless of the amplitude
+  /// precision T, so fp32 states sample from the same-quality CDF.
+  template <typename T>
+  [[nodiscard]] static SampleCdf from_amplitudes(std::span<const basic_complex_t<T>> amplitudes);
 
   [[nodiscard]] std::size_t size() const noexcept { return cum_.size(); }
 

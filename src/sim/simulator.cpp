@@ -32,56 +32,64 @@ void Simulator::run(StateVector& sv, const circuit::Circuit& c) const {
   for (const Gate& g : c.gates()) apply_gate(sv, g);
 }
 
-namespace {
-
-/// Lowers SWAP to three CNOTs through the generic kernel — what an
-/// unspecialized simulator does.
-void generic_apply(StateVector& sv, const Gate& g, bool parallel) {
-  const auto a = sv.amplitudes();
+template <typename T>
+void apply_gate_generic(std::span<basic_complex_t<T>> a, qubit_t n, const Gate& g,
+                        bool parallel) {
+  using C = basic_complex_t<T>;
   if (g.kind == GateKind::Swap) {
+    // Lower SWAP to three CNOTs through the generic kernel — what an
+    // unspecialized simulator does.
     const qubit_t qa = g.targets[0], qb = g.targets[1];
     const index_t cmask = control_mask(g);
-    const kernels::U2 x{0.0, 1.0, 1.0, 0.0};
-    kernels::apply_generic_masked(a, sv.qubits(), qb, cmask | (index_t{1} << qa), x, parallel);
-    kernels::apply_generic_masked(a, sv.qubits(), qa, cmask | (index_t{1} << qb), x, parallel);
-    kernels::apply_generic_masked(a, sv.qubits(), qb, cmask | (index_t{1} << qa), x, parallel);
+    const kernels::U2T<T> x{C{}, C{T{1}}, C{T{1}}, C{}};
+    kernels::apply_generic_masked<T>(a, n, qb, cmask | (index_t{1} << qa), x, parallel);
+    kernels::apply_generic_masked<T>(a, n, qa, cmask | (index_t{1} << qb), x, parallel);
+    kernels::apply_generic_masked<T>(a, n, qb, cmask | (index_t{1} << qa), x, parallel);
     return;
   }
-  kernels::apply_generic_masked(a, sv.qubits(), g.targets[0], control_mask(g), target_block(g),
-                                parallel);
+  kernels::apply_generic_masked<T>(a, n, g.targets[0], control_mask(g),
+                                   kernels::u2_cast<T>(target_block(g)), parallel);
 }
 
-}  // namespace
+template void apply_gate_generic<float>(std::span<basic_complex_t<float>>, qubit_t,
+                                        const Gate&, bool);
+template void apply_gate_generic<double>(std::span<basic_complex_t<double>>, qubit_t,
+                                         const Gate&, bool);
 
 void LiquidLikeSimulator::apply_gate(StateVector& sv, const Gate& g) const {
-  generic_apply(sv, g, /*parallel=*/false);
+  apply_gate_generic<double>(sv.amplitudes(), sv.qubits(), g, /*parallel=*/false);
 }
 
 void QhipsterLikeSimulator::apply_gate(StateVector& sv, const Gate& g) const {
-  generic_apply(sv, g, /*parallel=*/true);
+  apply_gate_generic<double>(sv.amplitudes(), sv.qubits(), g, /*parallel=*/true);
 }
 
-void apply_gate_hpc(std::span<complex_t> a, qubit_t n, const Gate& g) {
+template <typename T>
+void apply_gate_hpc(std::span<basic_complex_t<T>> a, qubit_t n, const Gate& g) {
+  using C = basic_complex_t<T>;
   const index_t cmask = control_mask(g);
   if (g.kind == GateKind::Swap) {
-    kernels::apply_swap(a, n, g.targets[0], g.targets[1], cmask);
+    kernels::apply_swap<T>(a, n, g.targets[0], g.targets[1], cmask);
     return;
   }
   const qubit_t t = g.targets[0];
   if (g.kind == GateKind::X) {
-    kernels::apply_x(a, n, t, cmask);
+    kernels::apply_x<T>(a, n, t, cmask);
     return;
   }
   if (g.diagonal()) {
     const auto [d0, d1] = diagonal_entries(g);
-    kernels::apply_diagonal(a, n, t, d0, d1, cmask);
+    kernels::apply_diagonal<T>(a, n, t, static_cast<C>(d0), static_cast<C>(d1), cmask);
     return;
   }
-  kernels::apply_folded(a, n, t, cmask, target_block(g));
+  kernels::apply_folded<T>(a, n, t, cmask, kernels::u2_cast<T>(target_block(g)));
 }
 
+template void apply_gate_hpc<float>(std::span<basic_complex_t<float>>, qubit_t, const Gate&);
+template void apply_gate_hpc<double>(std::span<basic_complex_t<double>>, qubit_t, const Gate&);
+
 void HpcSimulator::apply_gate(StateVector& sv, const Gate& g) const {
-  apply_gate_hpc(sv.amplitudes(), sv.qubits(), g);
+  apply_gate_hpc<double>(sv.amplitudes(), sv.qubits(), g);
 }
 
 void HpcSimulator::run(StateVector& sv, const circuit::Circuit& c) const {
@@ -109,10 +117,10 @@ void HpcSimulator::run(StateVector& sv, const circuit::Circuit& c) const {
       ++i;
     }
     if (run_terms.size() == 1) {
-      kernels::apply_diagonal(sv.amplitudes(), sv.qubits(), run_terms[0].target,
-                              run_terms[0].d0, run_terms[0].d1, run_terms[0].cmask);
+      kernels::apply_diagonal<double>(sv.amplitudes(), sv.qubits(), run_terms[0].target,
+                                      run_terms[0].d0, run_terms[0].d1, run_terms[0].cmask);
     } else {
-      kernels::apply_fused_diagonal(sv.amplitudes(), run_terms);
+      kernels::apply_fused_diagonal<double>(sv.amplitudes(), run_terms);
     }
   }
 }

@@ -41,8 +41,18 @@ namespace qc::sim {
 /// HpcSimulator's specialized single-gate dispatch on a raw amplitude
 /// array (2^n amplitudes) — the span-level entry point executors that do
 /// not own a StateVector (blocked plans on a rank's local chunk) share
-/// with HpcSimulator::apply_gate.
-void apply_gate_hpc(std::span<complex_t> a, qubit_t n, const circuit::Gate& g);
+/// with HpcSimulator::apply_gate. Templated on the amplitude scalar; the
+/// (double-precision) gate block is narrowed once per gate, not per
+/// amplitude.
+template <typename T>
+void apply_gate_hpc(std::span<basic_complex_t<T>> a, qubit_t n, const circuit::Gate& g);
+
+/// The unspecialized per-gate dispatch (the qhipster-/liquid-like tier)
+/// on a raw amplitude array: every gate through the generic masked 2x2
+/// kernel, SWAP lowered to three CNOTs. `parallel` selects OpenMP.
+template <typename T>
+void apply_gate_generic(std::span<basic_complex_t<T>> a, qubit_t n, const circuit::Gate& g,
+                        bool parallel);
 
 class Simulator {
  public:

@@ -4,34 +4,37 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "common/parallel.hpp"
 #include "sim/sampling.hpp"
 
 namespace qc::sim {
 
-StateVector::StateVector(qubit_t n_qubits) : n_(n_qubits), data_(dim(n_qubits)) {
+template <typename T>
+BasicStateVector<T>::BasicStateVector(qubit_t n_qubits) : n_(n_qubits), data_(dim(n_qubits)) {
   // data_ is allocated uninitialized (UninitAlignedAllocator); the
   // parallel first-touch fill below places each page on the NUMA node of
   // the thread that will sweep it in the kernels — a serial zero fill
   // would land every page on one node and make all kernels pay
   // remote-memory latency on multi-socket boxes.
   zero_fill();
-  data_[0] = 1.0;
+  data_[0] = value_type{T{1}};
 }
 
-void StateVector::zero_fill() {
+template <typename T>
+void BasicStateVector<T>::zero_fill() {
   const index_t count = size();
 #pragma omp parallel for schedule(static) if (worth_parallelizing(count))
-  for (index_t i = 0; i < count; ++i) data_[i] = complex_t{};
+  for (index_t i = 0; i < count; ++i) data_[i] = value_type{};
 }
 
-void StateVector::set_basis(index_t i) {
+template <typename T>
+void BasicStateVector<T>::set_basis(index_t i) {
   if (i >= size()) throw std::invalid_argument("set_basis: index out of range");
   zero_fill();
-  data_[i] = 1.0;
+  data_[i] = value_type{T{1}};
 }
 
-void StateVector::randomize(Rng& rng) {
+template <typename T>
+void BasicStateVector<T>::randomize(Rng& rng) {
   // Per-thread forked streams keep the fill deterministic regardless of
   // the thread count: thread t owns a contiguous slab and its own stream.
   const index_t n = size();
@@ -43,61 +46,79 @@ void StateVector::randomize(Rng& rng) {
     Rng local = rng.fork(static_cast<std::uint64_t>(t));
     const index_t lo = std::min<index_t>(static_cast<index_t>(t) * slab, n);
     const index_t hi = std::min<index_t>(lo + slab, n);
-    for (index_t i = lo; i < hi; ++i) data_[i] = local.normal_complex();
+    for (index_t i = lo; i < hi; ++i)
+      data_[i] = static_cast<value_type>(local.normal_complex());
   }
   normalize();
 }
 
-void StateVector::randomize_deterministic(std::uint64_t seed) {
-  fill_random_slabs(amplitudes(), 0, seed);
+template <typename T>
+void BasicStateVector<T>::randomize_deterministic(std::uint64_t seed) {
+  fill_random_slabs<T>(amplitudes(), 0, seed);
   normalize();
 }
 
-double StateVector::norm_sq() const {
+template <typename T>
+double BasicStateVector<T>::norm_sq() const {
   double sum = 0;
 #pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(size()))
-  for (index_t i = 0; i < size(); ++i) sum += std::norm(data_[i]);
+  for (index_t i = 0; i < size(); ++i) {
+    const double re = data_[i].real(), im = data_[i].imag();
+    sum += re * re + im * im;
+  }
   return sum;
 }
 
-void StateVector::normalize() {
+template <typename T>
+void BasicStateVector<T>::normalize() {
   const double n2 = norm_sq();
   if (n2 <= 0) throw std::runtime_error("normalize: zero state");
-  const double f = 1.0 / std::sqrt(n2);
+  const T f = static_cast<T>(1.0 / std::sqrt(n2));
 #pragma omp parallel for if (worth_parallelizing(size()))
   for (index_t i = 0; i < size(); ++i) data_[i] *= f;
 }
 
-double StateVector::overlap_abs(const StateVector& other) const {
+template <typename T>
+double BasicStateVector<T>::overlap_abs(const BasicStateVector& other) const {
   if (other.n_ != n_) throw std::invalid_argument("overlap: qubit count mismatch");
   double re = 0, im = 0;
 #pragma omp parallel for reduction(+ : re, im) if (worth_parallelizing(size()))
   for (index_t i = 0; i < size(); ++i) {
-    const complex_t p = std::conj(data_[i]) * other.data_[i];
-    re += p.real();
-    im += p.imag();
+    const double ar = data_[i].real(), ai = data_[i].imag();
+    const double br = other.data_[i].real(), bi = other.data_[i].imag();
+    re += ar * br + ai * bi;
+    im += ar * bi - ai * br;
   }
   return std::hypot(re, im);
 }
 
-double StateVector::max_abs_diff(const StateVector& other) const {
+template <typename T>
+double BasicStateVector<T>::max_abs_diff(const BasicStateVector& other) const {
   if (other.n_ != n_) throw std::invalid_argument("max_abs_diff: qubit count mismatch");
   double m = 0;
 #pragma omp parallel for reduction(max : m) if (worth_parallelizing(size()))
-  for (index_t i = 0; i < size(); ++i) m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  for (index_t i = 0; i < size(); ++i)
+    m = std::max(m, std::abs(static_cast<complex_t>(data_[i]) -
+                             static_cast<complex_t>(other.data_[i])));
   return m;
 }
 
-double StateVector::probability_of_one(qubit_t q) const {
+template <typename T>
+double BasicStateVector<T>::probability_of_one(qubit_t q) const {
   if (q >= n_) throw std::invalid_argument("probability_of_one: bad qubit");
   double sum = 0;
 #pragma omp parallel for reduction(+ : sum) if (worth_parallelizing(size()))
   for (index_t i = 0; i < size(); ++i)
-    if (bits::test(i, q)) sum += std::norm(data_[i]);
+    if (bits::test(i, q)) {
+      const double re = data_[i].real(), im = data_[i].imag();
+      sum += re * re + im * im;
+    }
   return sum;
 }
 
-std::vector<double> StateVector::register_distribution(qubit_t offset, qubit_t width) const {
+template <typename T>
+std::vector<double> BasicStateVector<T>::register_distribution(qubit_t offset,
+                                                               qubit_t width) const {
   if (offset + width > n_) throw std::invalid_argument("register_distribution: bad register");
   std::vector<double> dist(dim(width), 0.0);
   const int threads = max_threads();
@@ -108,49 +129,59 @@ std::vector<double> StateVector::register_distribution(qubit_t offset, qubit_t w
   {
     auto& mine = partial[static_cast<std::size_t>(thread_id())];
 #pragma omp for
-    for (index_t i = 0; i < size(); ++i)
-      mine[bits::field(i, offset, width)] += std::norm(data_[i]);
+    for (index_t i = 0; i < size(); ++i) {
+      const double re = data_[i].real(), im = data_[i].imag();
+      mine[bits::field(i, offset, width)] += re * re + im * im;
+    }
   }
   for (const auto& p : partial)
     for (std::size_t k = 0; k < dist.size(); ++k) dist[k] += p[k];
   return dist;
 }
 
-index_t StateVector::sample(Rng& rng) const {
+template <typename T>
+index_t BasicStateVector<T>::sample(Rng& rng) const {
   // Inverse-CDF sampling over the amplitude array through the shared
   // sampler; O(2^n) once (parallel prefix sum), still exponentially
   // cheaper than re-running the circuit per shot. The shared fallback
   // also fixes the old edge case where floating-point leftover past the
   // final cumulative returned size() - 1 even when that amplitude was
   // zero — a zero-probability outcome.
-  return SampleCdf::from_amplitudes(amplitudes()).sample(rng);
+  return SampleCdf::from_amplitudes<T>(amplitudes()).sample(rng);
 }
 
-int StateVector::measure_and_collapse(qubit_t q, Rng& rng) {
+template <typename T>
+int BasicStateVector<T>::measure_and_collapse(qubit_t q, Rng& rng) {
   const double p1 = probability_of_one(q);
   const int outcome = rng.uniform() < p1 ? 1 : 0;
   collapse(q, outcome);
   return outcome;
 }
 
-void StateVector::collapse(qubit_t q, int outcome) {
+template <typename T>
+void BasicStateVector<T>::collapse(qubit_t q, int outcome) {
   if (q >= n_) throw std::invalid_argument("collapse: bad qubit");
   const double p1 = probability_of_one(q);
   const double p = outcome == 1 ? p1 : 1.0 - p1;
   if (p < 1e-300) throw std::runtime_error("collapse: zero-probability outcome");
-  const double f = 1.0 / std::sqrt(p);
+  const T f = static_cast<T>(1.0 / std::sqrt(p));
   const bool keep_one = outcome == 1;
 #pragma omp parallel for if (worth_parallelizing(size()))
   for (index_t i = 0; i < size(); ++i) {
     if (bits::test(i, q) == keep_one) {
       data_[i] *= f;
     } else {
-      data_[i] = 0.0;
+      data_[i] = value_type{};
     }
   }
 }
 
-void fill_random_slabs(std::span<complex_t> data, index_t global_offset, std::uint64_t seed) {
+template class BasicStateVector<float>;
+template class BasicStateVector<double>;
+
+template <typename T>
+void fill_random_slabs(std::span<basic_complex_t<T>> data, index_t global_offset,
+                       std::uint64_t seed) {
   constexpr index_t kSlab = index_t{1} << 16;
   const index_t lo = global_offset;
   const index_t hi = global_offset + data.size();
@@ -166,11 +197,17 @@ void fill_random_slabs(std::span<complex_t> data, index_t global_offset, std::ui
     // Burn draws preceding our window so values depend only on global
     // position. Each normal_complex consumes a fixed number of draws
     // only if Box-Muller caching is avoided; regenerate pairwise instead.
+    // Draws stay double; the narrowing (if any) happens on store.
     for (index_t g = slab_lo; g < end; ++g) {
       const complex_t v = {rng.normal(), rng.normal()};
-      if (g >= begin) data[g - global_offset] = v;
+      if (g >= begin) data[g - global_offset] = static_cast<basic_complex_t<T>>(v);
     }
   }
 }
+
+template void fill_random_slabs<float>(std::span<basic_complex_t<float>>, index_t,
+                                       std::uint64_t);
+template void fill_random_slabs<double>(std::span<basic_complex_t<double>>, index_t,
+                                        std::uint64_t);
 
 }  // namespace qc::sim

@@ -1,11 +1,14 @@
 // The n-qubit wave function: 2^n complex amplitudes (paper §2, Eq. 1).
 //
-// StateVector owns the aligned amplitude array and provides the
+// BasicStateVector<T> owns the aligned amplitude array and provides the
 // state-level operations every simulator and the emulator share:
 // initialization, normalization, probabilities, measurement (sampling and
-// collapse), overlap, and register readout. Gate application lives in
-// kernels.hpp / the Simulator classes; classical-function shortcuts in
-// qc::emu.
+// collapse), overlap, and register readout. T is the real amplitude
+// scalar (double by default; float halves the memory footprint and the
+// bytes every kernel sweep moves — one extra qubit per node at equal
+// memory). Reductions (norms, probabilities, distributions) accumulate
+// in double for either precision. Gate application lives in kernels.hpp
+// / the Simulator classes; classical-function shortcuts in qc::emu.
 #pragma once
 
 #include <span>
@@ -13,25 +16,32 @@
 
 #include "common/aligned.hpp"
 #include "common/bits.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace qc::sim {
 
-class StateVector {
+template <typename T>
+class BasicStateVector {
  public:
-  /// |0...0> on n qubits. Allocates 2^n amplitudes (16 bytes each).
-  explicit StateVector(qubit_t n_qubits);
+  using value_type = basic_complex_t<T>;
+
+  /// |0...0> on n qubits. Allocates 2^n amplitudes (sizeof(value_type)
+  /// bytes each: 16 at fp64, 8 at fp32).
+  explicit BasicStateVector(qubit_t n_qubits);
 
   [[nodiscard]] qubit_t qubits() const noexcept { return n_; }
   [[nodiscard]] index_t size() const noexcept { return dim(n_); }
 
-  [[nodiscard]] std::span<complex_t> amplitudes() noexcept { return {data_.data(), data_.size()}; }
-  [[nodiscard]] std::span<const complex_t> amplitudes() const noexcept {
+  [[nodiscard]] std::span<value_type> amplitudes() noexcept {
     return {data_.data(), data_.size()};
   }
-  complex_t& operator[](index_t i) noexcept { return data_[i]; }
-  const complex_t& operator[](index_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] std::span<const value_type> amplitudes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  value_type& operator[](index_t i) noexcept { return data_[i]; }
+  const value_type& operator[](index_t i) const noexcept { return data_[i]; }
 
   /// Resets to the computational basis state |i>.
   void set_basis(index_t i);
@@ -41,7 +51,9 @@ class StateVector {
   void randomize(Rng& rng);
 
   /// Partition-independent random state: same result as a
-  /// DistStateVector randomized with the same seed on any rank count.
+  /// DistStateVector randomized with the same seed on any rank count —
+  /// and, because draws are generated in double and narrowed, the same
+  /// state (up to rounding) at either precision.
   void randomize_deterministic(std::uint64_t seed);
 
   /// Sum of |amplitude|^2 (should be 1 for a valid state).
@@ -51,10 +63,10 @@ class StateVector {
   void normalize();
 
   /// |<this|other>|.
-  [[nodiscard]] double overlap_abs(const StateVector& other) const;
+  [[nodiscard]] double overlap_abs(const BasicStateVector& other) const;
 
   /// max_i |this_i - other_i| — the equality metric in tests.
-  [[nodiscard]] double max_abs_diff(const StateVector& other) const;
+  [[nodiscard]] double max_abs_diff(const BasicStateVector& other) const;
 
   /// Probability of measuring qubit q as 1.
   [[nodiscard]] double probability_of_one(qubit_t q) const;
@@ -74,20 +86,41 @@ class StateVector {
   /// outcome has probability ~0.
   void collapse(qubit_t q, int outcome);
 
+  /// Precision-converting copy (fp64 <-> fp32): the engine's
+  /// convert-at-segment-boundary strategy narrows the host state once
+  /// per gate segment, runs the fp32 kernels, and widens the result.
+  template <typename U>
+  [[nodiscard]] BasicStateVector<U> cast() const {
+    BasicStateVector<U> out(n_);
+    auto dst = out.amplitudes();
+    const index_t count = size();
+#pragma omp parallel for schedule(static) if (worth_parallelizing(count))
+    for (index_t i = 0; i < count; ++i)
+      dst[i] = static_cast<basic_complex_t<U>>(data_[i]);
+    return out;
+  }
+
  private:
   /// Parallel zero fill with the kernels' static schedule, so page first
   /// touch (NUMA placement) matches the threads that later sweep them.
   void zero_fill();
 
   qubit_t n_;
-  uninit_aligned_vector<complex_t> data_;
+  uninit_aligned_vector<value_type> data_;
 };
+
+/// Double-precision alias — the default across the non-templated API.
+using StateVector = BasicStateVector<double>;
 
 /// Fills `data` — a window [global_offset, global_offset + data.size())
 /// of a larger conceptual array — with deterministic complex Gaussians
 /// generated in fixed 2^16-element slabs keyed off `seed`. The values at
 /// a given global position do not depend on how the array is partitioned,
-/// which lets distributed and serial states be seeded identically.
-void fill_random_slabs(std::span<complex_t> data, index_t global_offset, std::uint64_t seed);
+/// which lets distributed and serial states be seeded identically; draws
+/// are generated in double and narrowed so fp32 and fp64 fills agree up
+/// to rounding.
+template <typename T>
+void fill_random_slabs(std::span<basic_complex_t<T>> data, index_t global_offset,
+                       std::uint64_t seed);
 
 }  // namespace qc::sim

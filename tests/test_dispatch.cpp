@@ -1,0 +1,157 @@
+// Dispatch-equivalence tests for the runtime-selected SIMD kernels:
+// every available ISA must agree with the scalar reference to 1e-12 at
+// fp64 (fp32 to a few ulps of float) for every dispatched gate class —
+// dense 2x2 (folded + masked), dense 4x4 fused blocks, and the
+// run-scaled diagonal — across register sizes that cover both the
+// short-run remainder paths and long vector runs. Also covers the
+// QC_SIMD override and the force_isa round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "sim/kernels.hpp"
+#include "sim/kernels_dispatch.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qc::sim::kernels {
+namespace {
+
+std::vector<SimdIsa> available() {
+  std::vector<SimdIsa> out;
+  for (const SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kAvx512})
+    if (isa_available(isa)) out.push_back(isa);
+  return out;
+}
+
+/// Restores the pre-test dispatch decision on scope exit.
+struct IsaGuard {
+  SimdIsa prev = active_isa();
+  ~IsaGuard() {
+    force_isa(prev);
+  }
+};
+
+template <typename T>
+BasicStateVector<T> random_state(qubit_t n, std::uint64_t seed) {
+  BasicStateVector<T> sv(n);
+  sv.randomize_deterministic(seed);
+  return sv;
+}
+
+template <typename T>
+double max_diff(const BasicStateVector<T>& a, const BasicStateVector<T>& b) {
+  return a.max_abs_diff(b);
+}
+
+/// Tolerance of the ISA-agreement check: the vector kernels reassociate
+/// FMA chains, so fp32 allows a few float ulps; fp64 must agree to the
+/// CONTRIBUTING-mandated 1e-12.
+template <typename T>
+constexpr double kIsaTol = std::is_same_v<T, double> ? 1e-12 : 1e-5;
+
+/// Runs `apply` under every available ISA and checks the result against
+/// the scalar reference outcome.
+template <typename T, typename F>
+void expect_isa_agreement(qubit_t n, F&& apply) {
+  IsaGuard guard;
+  force_isa(SimdIsa::kScalar);
+  BasicStateVector<T> ref = random_state<T>(n, 7 + n);
+  apply(ref);
+  for (const SimdIsa isa : available()) {
+    if (isa == SimdIsa::kScalar) continue;
+    force_isa(isa);
+    BasicStateVector<T> got = random_state<T>(n, 7 + n);
+    apply(got);
+    EXPECT_LE(max_diff(ref, got), kIsaTol<T>)
+        << "isa=" << isa_name(isa) << " n=" << static_cast<int>(n)
+        << " fp=" << 8 * sizeof(T);
+  }
+}
+
+template <typename T>
+void sweep_gate_classes() {
+  const U2 h{1 / std::numbers::sqrt2, 1 / std::numbers::sqrt2, 1 / std::numbers::sqrt2,
+             -1 / std::numbers::sqrt2};
+  const U2 g{std::polar(0.6, 0.2), std::polar(0.8, -1.1), std::polar(0.8, 2.0),
+             std::polar(0.6, 0.9)};
+  // n=4 exercises the scalar remainder of every vector width; n=16 the
+  // long-run main loops; intermediate sizes the mixed cases.
+  for (const qubit_t n : {qubit_t{4}, qubit_t{7}, qubit_t{10}, qubit_t{16}}) {
+    for (qubit_t t = 0; t < n; t += (n > 4 ? 3 : 1)) {
+      // Dense 2x2, uncontrolled + controlled (folded path).
+      expect_isa_agreement<T>(n, [&](BasicStateVector<T>& sv) {
+        apply_folded<T>(sv.amplitudes(), n, t, 0, u2_cast<T>(g));
+      });
+      const index_t cmask = t == 0 ? index_t{1} << (n - 1) : index_t{1};
+      expect_isa_agreement<T>(n, [&](BasicStateVector<T>& sv) {
+        apply_folded<T>(sv.amplitudes(), n, t, cmask, u2_cast<T>(h));
+      });
+      // Run-scaled diagonal, controlled.
+      expect_isa_agreement<T>(n, [&](BasicStateVector<T>& sv) {
+        apply_diagonal<T>(sv.amplitudes(), n, t,
+                          static_cast<basic_complex_t<T>>(std::polar(1.0, 0.4)),
+                          static_cast<basic_complex_t<T>>(std::polar(1.0, -0.7)), cmask);
+      });
+    }
+    // Dense 4x4 fused block over adjacent and strided target pairs.
+    for (const auto& targets :
+         {std::vector<qubit_t>{0, 1}, std::vector<qubit_t>{1, static_cast<qubit_t>(n - 1)}}) {
+      std::vector<basic_complex_t<T>> u(16);
+      const complex_t gm[4] = {g.m00, g.m01, g.m10, g.m11};
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+          u[static_cast<std::size_t>(4 * i + j)] = static_cast<basic_complex_t<T>>(
+              gm[2 * (i >> 1) + (j >> 1)] * gm[2 * (i & 1) + (j & 1)]);
+      expect_isa_agreement<T>(n, [&](BasicStateVector<T>& sv) {
+        apply_multi<T>(sv.amplitudes(), n, {targets.data(), targets.size()},
+                       {u.data(), u.size()});
+      });
+    }
+  }
+}
+
+TEST(Dispatch, EveryIsaMatchesScalarReferenceF64) { sweep_gate_classes<double>(); }
+
+TEST(Dispatch, EveryIsaMatchesScalarReferenceF32) { sweep_gate_classes<float>(); }
+
+TEST(Dispatch, ActiveIsaIsAvailable) {
+  EXPECT_TRUE(isa_available(active_isa()));
+  EXPECT_LE(static_cast<int>(active_isa()), static_cast<int>(detect_isa()));
+}
+
+TEST(Dispatch, ForceIsaRoundTrip) {
+  const SimdIsa before = active_isa();
+  const SimdIsa prev = force_isa(SimdIsa::kScalar);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(active_isa(), SimdIsa::kScalar);
+  force_isa(before);
+  EXPECT_EQ(active_isa(), before);
+}
+
+TEST(Dispatch, QcSimdOverrideClampsToScalar) {
+  IsaGuard guard;
+  // QC_SIMD requesting a *lower* tier than detected must be honored —
+  // that is the sanitizer-leg contract (CI runs QC_SIMD=scalar).
+  ASSERT_EQ(setenv("QC_SIMD", "scalar", 1), 0);
+  refresh_isa();
+  EXPECT_EQ(active_isa(), SimdIsa::kScalar);
+  ASSERT_EQ(unsetenv("QC_SIMD"), 0);
+  refresh_isa();
+  EXPECT_EQ(active_isa(), detect_isa());
+}
+
+TEST(Dispatch, QcSimdUnknownValueIgnored) {
+  IsaGuard guard;
+  ASSERT_EQ(setenv("QC_SIMD", "sse9000", 1), 0);
+  refresh_isa();
+  EXPECT_EQ(active_isa(), detect_isa());
+  ASSERT_EQ(unsetenv("QC_SIMD"), 0);
+  refresh_isa();
+}
+
+}  // namespace
+}  // namespace qc::sim::kernels

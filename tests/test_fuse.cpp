@@ -127,7 +127,7 @@ TEST(ApplyMulti, MatchesDenseOperatorOnStridedQubits) {
   full.matvec(in.amplitudes(), expected.amplitudes());
 
   sim::StateVector got = copy_state(in);
-  sim::kernels::apply_multi(got.amplitudes(), n, targets, {u.data(), u.rows() * u.cols()});
+  sim::kernels::apply_multi<double>(got.amplitudes(), n, targets, {u.data(), u.rows() * u.cols()});
   EXPECT_LT(got.max_abs_diff(expected), 1e-13);
 }
 
@@ -146,7 +146,7 @@ TEST(ApplyMultiDiagonal, MatchesDenseDiagonal) {
   full.matvec(in.amplitudes(), expected.amplitudes());
 
   sim::StateVector got = copy_state(in);
-  sim::kernels::apply_multi_diagonal(got.amplitudes(), n, targets, d);
+  sim::kernels::apply_multi_diagonal<double>(got.amplitudes(), n, targets, d);
   EXPECT_LT(got.max_abs_diff(expected), 1e-13);
 }
 
@@ -355,7 +355,7 @@ TEST(ApplyMulti, GenericWidePathMatchesDenseOracle) {
   full.matvec(in.amplitudes(), expected.amplitudes());
 
   sim::StateVector got = copy_state(in);
-  sim::kernels::apply_multi(got.amplitudes(), n, targets, {u.data(), u.rows() * u.cols()});
+  sim::kernels::apply_multi<double>(got.amplitudes(), n, targets, {u.data(), u.rows() * u.cols()});
   EXPECT_LT(got.max_abs_diff(expected), 1e-12);
 }
 

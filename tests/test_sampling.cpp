@@ -75,7 +75,7 @@ TEST(SampleCdf, ThrowsOnEmptySupport) {
 
 TEST(SampleCdf, FromAmplitudesUsesNormWeights) {
   const std::vector<complex_t> a{{0.0, 0.5}, {0.5, 0.0}, {0.0, 0.0}, {0.5, 0.5}};
-  const SampleCdf cdf = SampleCdf::from_amplitudes(a);
+  const SampleCdf cdf = SampleCdf::from_amplitudes<double>(a);
   EXPECT_NEAR(cdf.total(), 1.0, 1e-15);
   EXPECT_EQ(cdf.sample_scaled(0.1), 0u);
   EXPECT_EQ(cdf.sample_scaled(0.3), 1u);

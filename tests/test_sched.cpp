@@ -263,7 +263,7 @@ TEST(FusedDiagonalFastPath, MatchesPerGateApplication) {
   };
   sim::StateVector a = random_state(n, 55);
   sim::StateVector b = copy_state(a);
-  sim::kernels::apply_fused_diagonal(a.amplitudes(), terms);
+  sim::kernels::apply_fused_diagonal<double>(a.amplitudes(), terms);
   for (const auto& t : terms)
     sim::kernels::apply_diagonal(b.amplitudes(), n, t.target, t.d0, t.d1, t.cmask);
   EXPECT_LT(a.max_abs_diff(b), 1e-13);
@@ -277,7 +277,7 @@ TEST(FusedDiagonalFastPath, WideSupportStillCorrect) {
     terms.push_back({q, 0, complex_t{1.0}, std::polar(1.0, 0.1 * (q + 1))});
   sim::StateVector a = random_state(n, 56);
   sim::StateVector b = copy_state(a);
-  sim::kernels::apply_fused_diagonal(a.amplitudes(), terms);
+  sim::kernels::apply_fused_diagonal<double>(a.amplitudes(), terms);
   for (const auto& t : terms)
     sim::kernels::apply_diagonal(b.amplitudes(), n, t.target, t.d0, t.d1, t.cmask);
   EXPECT_LT(a.max_abs_diff(b), 1e-13);

@@ -286,11 +286,11 @@ TEST(FillRandomSlabs, PartitionIndependent) {
   // Generating [0, 2^12) in one window must equal generating it in four.
   const index_t size = index_t{1} << 12;
   aligned_vector<complex_t> whole(size);
-  fill_random_slabs(whole, 0, 123);
+  fill_random_slabs<double>(whole, 0, 123);
   aligned_vector<complex_t> parts(size);
   const index_t quarter = size / 4;
   for (int q = 0; q < 4; ++q)
-    fill_random_slabs({parts.data() + q * quarter, quarter}, q * quarter, 123);
+    fill_random_slabs<double>({parts.data() + q * quarter, quarter}, q * quarter, 123);
   for (index_t i = 0; i < size; ++i) EXPECT_EQ(whole[i], parts[i]);
 }
 
